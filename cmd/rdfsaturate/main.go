@@ -1,0 +1,60 @@
+// Command rdfsaturate computes the closure G∞ of an RDF graph under the
+// RDFS entailment rules of the DB fragment and reports size and timing; it
+// can write the saturated graph out for use by downstream tools.
+//
+// Usage:
+//
+//	rdfsaturate [-o saturated.nt] graph.ttl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdfio"
+	"repro/internal/store"
+)
+
+func main() {
+	out := flag.String("o", "", "write the saturated graph to this file (.nt or .ttl)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rdfsaturate [-o out.nt] graph.ttl")
+		os.Exit(2)
+	}
+	g, err := rdfio.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdfsaturate: %v\n", err)
+		os.Exit(1)
+	}
+	kb := core.NewKB()
+	if _, err := kb.LoadGraph(g); err != nil {
+		fmt.Fprintf(os.Stderr, "rdfsaturate: %v\n", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	sat := core.NewSaturation(kb)
+	elapsed := time.Since(start)
+	mat := sat.Materialization()
+	fmt.Printf("|G|  = %d triples\n", mat.BaseLen())
+	fmt.Printf("|G∞| = %d triples (+%d derived, +%.1f%%)\n",
+		mat.Store().Len(), mat.DerivedLen(),
+		100*float64(mat.DerivedLen())/float64(mat.BaseLen()))
+	fmt.Printf("saturation time: %v (%d semi-naive rounds)\n", elapsed, mat.Stats.Rounds)
+
+	if *out != "" {
+		satGraph := kb.Graph()
+		mat.Store().ForEachMatch(store.Triple{}, func(t store.Triple) bool {
+			satGraph.Add(kb.Decode(t))
+			return true
+		})
+		if err := rdfio.Save(*out, satGraph, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "rdfsaturate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d triples)\n", *out, satGraph.Len())
+	}
+}

@@ -1,0 +1,110 @@
+package webreason_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	webreason "repro"
+)
+
+// ExampleNewKB shows the paper's Section I example end to end: the graph
+// asserts only that Tom is a cat and that cats are mammals, yet the mammals
+// query returns Tom.
+func ExampleNewKB() {
+	g, err := webreason.ParseTurtle(strings.NewReader(`
+@prefix ex:   <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:Cat rdfs:subClassOf ex:Mammal .
+ex:tom a ex:Cat .
+`))
+	if err != nil {
+		panic(err)
+	}
+	kb := webreason.NewKB()
+	if _, err := kb.LoadGraph(g); err != nil {
+		panic(err)
+	}
+	s := webreason.NewReformulationStrategy(kb)
+	q := webreason.MustParseQuery(
+		`PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Mammal }`)
+	res, err := s.Answer(q)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Sort().Decode(kb.Dict()) {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// <http://example.org/tom>
+}
+
+// ExampleExplain prints the proof tree of an entailed triple.
+func ExampleExplain() {
+	kb := webreason.NewKB()
+	g := webreason.GraphOf(
+		webreason.T(webreason.NewIRI("http://e/tom"), webreason.Type, webreason.NewIRI("http://e/Cat")),
+		webreason.T(webreason.NewIRI("http://e/Cat"), webreason.SubClassOf, webreason.NewIRI("http://e/Mammal")),
+	)
+	if _, err := kb.LoadGraph(g); err != nil {
+		panic(err)
+	}
+	proof, ok := webreason.Explain(kb, webreason.T(
+		webreason.NewIRI("http://e/tom"), webreason.Type, webreason.NewIRI("http://e/Mammal")))
+	if !ok {
+		panic("not entailed")
+	}
+	fmt.Print(proof)
+	// Output:
+	// <http://e/tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Mammal>   [rdfs9]
+	//   <http://e/Cat> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://e/Mammal>   [asserted]
+	//   <http://e/tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Cat>   [asserted]
+}
+
+// ExampleComputeThresholds reproduces the Figure 3 arithmetic for one
+// query: with a 100ms saturation cost and a 2ms-per-run advantage for the
+// saturated evaluation, saturation pays off from the 50th execution on.
+func ExampleComputeThresholds() {
+	th := webreason.ComputeThresholds(
+		webreason.MaintenanceCosts{Saturation: 100 * time.Millisecond},
+		webreason.QueryCosts{
+			EvalSaturated:      1 * time.Millisecond,
+			AnswerReformulated: 3 * time.Millisecond,
+		},
+	)
+	fmt.Printf("saturation threshold: %.0f runs\n", th.Saturation)
+	// Output:
+	// saturation threshold: 50 runs
+}
+
+// ExampleAdvise shows the strategy advisor on two workload mixes.
+func ExampleAdvise() {
+	cm := webreason.CostModel{
+		Maintenance: webreason.MaintenanceCosts{
+			Saturation:   100 * time.Millisecond,
+			SchemaDelete: 5 * time.Millisecond,
+		},
+		EvalSaturated:      200 * time.Microsecond,
+		AnswerReformulated: 2 * time.Millisecond,
+	}
+	mixes := []struct {
+		name string
+		w    webreason.Workload
+	}{
+		{"dashboard", webreason.Workload{Queries: 100000}},
+		{"ontology-lab", webreason.Workload{Queries: 20, SchemaDeletes: 500}},
+	}
+	var lines []string
+	for _, m := range mixes {
+		rec := webreason.Advise(cm, m.w)
+		lines = append(lines, fmt.Sprintf("%s -> %s", m.name, rec.Best))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// dashboard -> saturation
+	// ontology-lab -> reformulation
+}

@@ -1,0 +1,113 @@
+// Thresholds: reproduce the Figure 3 analysis on your own workload. The
+// example measures the cost quantities for three queries over a generated
+// dataset, computes each query's five thresholds, and asks the advisor
+// which strategy a given application mix should use.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	webreason "repro"
+)
+
+func main() {
+	g := webreason.LUBMGenerate(1, 8, 7)
+	g.AddAll(webreason.LUBMOntology())
+	kb := webreason.NewKB()
+	if _, err := kb.LoadGraph(g); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- measure the saturation-side costs -------------------------------
+	startSat := time.Now()
+	sat := webreason.NewSaturationStrategy(kb)
+	satCost := time.Since(startSat)
+	ref := webreason.NewReformulationStrategy(kb)
+
+	onto := "http://lubm.example.org/onto#"
+	data := "http://lubm.example.org/data/"
+	instance := webreason.T(webreason.NewIRI(data+"new/s0"), webreason.Type, webreason.NewIRI(onto+"GraduateStudent"))
+	// A loaded schema edge: Student ⊑ Person supports one derived type per
+	// student, so deleting and re-adding it exercises real maintenance.
+	schemaT := webreason.T(webreason.NewIRI(onto+"Student"), webreason.SubClassOf, webreason.NewIRI(onto+"Person"))
+
+	maint := webreason.MaintenanceCosts{Saturation: satCost}
+	maint.InstanceInsert = timeOp(func() { must(sat.Insert(instance)) })
+	maint.InstanceDelete = timeOp(func() { must(sat.Delete(instance)) })
+	maint.SchemaDelete = timeOp(func() { must(sat.Delete(schemaT)) })
+	maint.SchemaInsert = timeOp(func() { must(sat.Insert(schemaT)) })
+
+	// --- per-query costs and thresholds ----------------------------------
+	queries := map[string]string{
+		"members of dept0 (needs subclass+subproperty+domain/range)": `
+PREFIX lubm: <http://lubm.example.org/onto#>
+SELECT ?x WHERE { ?x a lubm:Person . ?x lubm:memberOf <http://lubm.example.org/data/univ0/dept0> }`,
+		"all students (needs subclass)": `
+PREFIX lubm: <http://lubm.example.org/onto#>
+SELECT ?x WHERE { ?x a lubm:Student }`,
+		"undergrads (no reasoning)": `
+PREFIX lubm: <http://lubm.example.org/onto#>
+SELECT ?x WHERE { ?x a lubm:UndergraduateStudent }`,
+	}
+
+	fmt.Printf("dataset: %d triples; saturation took %v\n\n", kb.Len(), satCost.Round(time.Millisecond))
+	for label, text := range queries {
+		q := webreason.MustParseQuery(text)
+		qc := webreason.QueryCosts{
+			EvalSaturated:      timeOp(func() { _, err := sat.Answer(q); must(err) }),
+			AnswerReformulated: timeOp(func() { _, err := ref.Answer(q); must(err) }),
+		}
+		th := webreason.ComputeThresholds(maint, qc)
+		fmt.Printf("query: %s\n", label)
+		fmt.Printf("  eval on G∞: %v   answer by reformulation: %v\n",
+			qc.EvalSaturated.Round(time.Microsecond), qc.AnswerReformulated.Round(time.Microsecond))
+		for _, s := range th.Series() {
+			fmt.Printf("  %-38s %s\n", s.Name+":", fmtThreshold(s.Value))
+		}
+		fmt.Println()
+	}
+
+	// --- advisor ----------------------------------------------------------
+	// Use the measured maintenance costs with representative per-query
+	// costs for this dataset.
+	cm := webreason.CostModel{
+		Maintenance:        maint,
+		EvalSaturated:      200 * time.Microsecond,
+		AnswerReformulated: 1200 * time.Microsecond,
+	}
+	for _, mix := range []struct {
+		label string
+		w     webreason.Workload
+	}{
+		{"dashboard (10k queries, static graph)", webreason.Workload{Queries: 10000}},
+		{"ingestion pipeline (100 queries, 5k instance updates)",
+			webreason.Workload{Queries: 100, InstanceInserts: 5000}},
+		{"ontology lab (50 queries, 200 schema edits)",
+			webreason.Workload{Queries: 50, SchemaInserts: 100, SchemaDeletes: 100}},
+	} {
+		rec := webreason.Advise(cm, mix.w)
+		fmt.Printf("advisor: %-55s → %s\n", mix.label, rec.Best)
+	}
+}
+
+func timeOp(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+func fmtThreshold(v float64) string {
+	if math.IsInf(v, 1) {
+		return "∞ (saturation never amortises)"
+	}
+	return fmt.Sprintf("%.0f query run(s)", v)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

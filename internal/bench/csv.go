@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV emits the Figure 3 series in plot-ready form: one row per query,
+// one column per threshold series (the exact data behind the paper's bar
+// chart). Infinite thresholds are written as "inf".
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"query", "reasoning", "eval_saturated_ns", "answer_reformulated_ns",
+		"saturation_threshold", "instance_insertion_threshold", "instance_deletion_threshold",
+		"schema_insertion_threshold", "schema_deletion_threshold",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "inf"
+		}
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Query,
+			row.Reasoning,
+			strconv.FormatInt(row.Costs.EvalSaturated.Nanoseconds(), 10),
+			strconv.FormatInt(row.Costs.AnswerReformulated.Nanoseconds(), 10),
+			f(row.Thresholds.Saturation),
+			f(row.Thresholds.InstanceInsert),
+			f(row.Thresholds.InstanceDelete),
+			f(row.Thresholds.SchemaInsert),
+			f(row.Thresholds.SchemaDelete),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("bench: writing CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestWriteCSV(t *testing.T) {
+	res := &Fig3Result{
+		Rows: []Fig3Row{
+			{
+				Query: "Q1", Reasoning: "none",
+				Costs:      core.QueryCosts{EvalSaturated: time.Microsecond, AnswerReformulated: 3 * time.Microsecond},
+				Thresholds: core.Thresholds{Saturation: 10, InstanceInsert: 1, InstanceDelete: 2, SchemaInsert: 3, SchemaDelete: 4},
+			},
+			{
+				Query: "Q2", Reasoning: "subclass",
+				Thresholds: core.Thresholds{Saturation: math.Inf(1), InstanceInsert: math.Inf(1), InstanceDelete: math.Inf(1), SchemaInsert: math.Inf(1), SchemaDelete: math.Inf(1)},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d, want 3 (header + 2)", len(records))
+	}
+	if records[0][0] != "query" || len(records[0]) != 9 {
+		t.Errorf("header wrong: %v", records[0])
+	}
+	if records[1][4] != "10" {
+		t.Errorf("saturation threshold cell = %q, want 10", records[1][4])
+	}
+	if records[1][2] != "1000" {
+		t.Errorf("eval ns cell = %q, want 1000", records[1][2])
+	}
+	if records[2][4] != "inf" || !strings.Contains(strings.Join(records[2], ","), "inf") {
+		t.Errorf("infinite threshold not marked: %v", records[2])
+	}
+}

@@ -1,0 +1,497 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/lubm"
+	"repro/internal/rdf"
+	"repro/internal/reason"
+	"repro/internal/reformulate"
+	"repro/internal/schema"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — Figure 1: RDF & RDFS statements
+// ---------------------------------------------------------------------------
+
+// RenderFigure1 prints the paper's Figure 1 from the vocabulary tables.
+func RenderFigure1(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1 — RDF (top) & RDFS (bottom) statements")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Kind\tName\tTriple\tSemantics")
+	for _, row := range rdf.Figure1() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", row.Kind, row.Name, row.TriplePattern, row.Semantics)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Figure 2: immediate entailment rules
+// ---------------------------------------------------------------------------
+
+// RenderFigure2 prints the paper's Figure 2 from the rule registry, plus the
+// schema-level rules the full DB-fragment rule set adds.
+func RenderFigure2(w io.Writer) {
+	d := dict.New()
+	voc := schema.NewVocab(d)
+	fmt.Fprintln(w, "Figure 2 — sample immediate entailment rules")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Rule\tEntailment")
+	for _, r := range reason.Figure2Rules(voc) {
+		fmt.Fprintf(tw, "%s\t%s\n", r.Name, r.Doc)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\nFull DB-fragment rule set (schema-level rules included):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, r := range reason.RDFSRules(voc) {
+		kind := "instance"
+		if r.SchemaOnly {
+			kind = "schema"
+		}
+		fmt.Fprintf(tw, "%s\t(%s)\t%s\n", r.Name, kind, r.Doc)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Figure 3: saturation thresholds
+// ---------------------------------------------------------------------------
+
+// Fig3Row is one query's measurements and thresholds.
+type Fig3Row struct {
+	Query      string
+	Reasoning  string
+	Costs      core.QueryCosts
+	Thresholds core.Thresholds
+}
+
+// Fig3Result is the full Figure 3 reproduction.
+type Fig3Result struct {
+	Maintenance core.MaintenanceCosts
+	Rows        []Fig3Row
+	// Spread is the max/min ratio over finite non-zero thresholds — the
+	// paper's "thresholds vary by up to 7 orders of magnitude" observation.
+	Spread float64
+}
+
+// RunFig3 measures everything Figure 3 needs on a fresh workbench.
+func RunFig3(cfg lubm.Config) (*Fig3Result, error) {
+	w, err := NewWorkbench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maint := w.MaintenanceCosts()
+	res := &Fig3Result{Maintenance: maint}
+	var all []core.Thresholds
+	for _, wq := range lubm.Queries() {
+		qc, err := w.QueryCosts(wq.Parse())
+		if err != nil {
+			return nil, fmt.Errorf("query %s: %w", wq.Name, err)
+		}
+		th := core.ComputeThresholds(maint, qc)
+		res.Rows = append(res.Rows, Fig3Row{Query: wq.Name, Reasoning: wq.Reasoning, Costs: qc, Thresholds: th})
+		all = append(all, th)
+	}
+	res.Spread = core.Spread(all)
+	return res, nil
+}
+
+func fmtThreshold(v float64) string {
+	if math.IsInf(v, 1) {
+		return "∞"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// Render prints the Figure 3 table: one row per query, the five threshold
+// series as columns.
+func (r *Fig3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3 — saturation thresholds: quantifying the amortization of saturation")
+	fmt.Fprintf(w, "(saturation: %v; maintenance per update — instance +: %v, instance −: %v, schema +: %v, schema −: %v)\n\n",
+		r.Maintenance.Saturation, r.Maintenance.InstanceInsert, r.Maintenance.InstanceDelete,
+		r.Maintenance.SchemaInsert, r.Maintenance.SchemaDelete)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "query\treasoning\teval(G∞)\tanswer_ref(G)\tsaturation\tinst.ins\tinst.del\tschema.ins\tschema.del\t")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%v\t%s\t%s\t%s\t%s\t%s\t\n",
+			row.Query, row.Reasoning,
+			row.Costs.EvalSaturated.Round(time.Microsecond),
+			row.Costs.AnswerReformulated.Round(time.Microsecond),
+			fmtThreshold(row.Thresholds.Saturation),
+			fmtThreshold(row.Thresholds.InstanceInsert),
+			fmtThreshold(row.Thresholds.InstanceDelete),
+			fmtThreshold(row.Thresholds.SchemaInsert),
+			fmtThreshold(row.Thresholds.SchemaDelete))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nthreshold spread (max/min over finite non-zero): %.1fx (~10^%.1f)\n",
+		r.Spread, math.Log10(math.Max(r.Spread, 1)))
+}
+
+// ---------------------------------------------------------------------------
+// E4 — saturation cost and size vs. scale
+// ---------------------------------------------------------------------------
+
+// SatRow is one scale point of the saturation-scaling experiment.
+type SatRow struct {
+	Departments int
+	Base        int
+	Saturated   int
+	Increase    float64 // percent
+	Duration    time.Duration
+}
+
+// RunSaturationScaling saturates datasets of growing size.
+func RunSaturationScaling(depts []int) ([]SatRow, error) {
+	var out []SatRow
+	for _, d := range depts {
+		cfg := lubm.DefaultConfig()
+		cfg.DeptsPerUniv = d
+		kb := core.NewKB()
+		if _, err := kb.LoadGraph(lubm.GenerateWithOntology(cfg)); err != nil {
+			return nil, err
+		}
+		var mat *reason.Materialization
+		dur := measure(500*time.Millisecond, 3, func() {
+			mat = reason.Materialize(kb.Base(), kb.Rules())
+		})
+		out = append(out, SatRow{
+			Departments: d,
+			Base:        kb.Len(),
+			Saturated:   mat.Store().Len(),
+			Increase:    100 * float64(mat.Store().Len()-kb.Len()) / float64(kb.Len()),
+			Duration:    dur,
+		})
+	}
+	return out, nil
+}
+
+// RenderSaturationScaling prints E4.
+func RenderSaturationScaling(w io.Writer, rows []SatRow) {
+	fmt.Fprintln(w, "E4 — saturation: time to compute, space to store (§II-B)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "departments\t|G|\t|G∞|\tincrease\ttime\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t+%.1f%%\t%v\t\n", r.Departments, r.Base, r.Saturated, r.Increase, r.Duration.Round(time.Millisecond))
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E5 — the three techniques per query
+// ---------------------------------------------------------------------------
+
+// StrategyRow compares answering times for one query.
+type StrategyRow struct {
+	Query     string
+	Answers   int
+	Plain     int // answers without reasoning — what query *evaluation* returns
+	Saturated time.Duration
+	Reform    time.Duration
+	Backward  time.Duration
+}
+
+// RunStrategies measures all three techniques on the workload.
+func RunStrategies(cfg lubm.Config) ([]StrategyRow, error) {
+	w, err := NewWorkbench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []StrategyRow
+	for _, wq := range lubm.Queries() {
+		q := wq.Parse()
+		full, err := w.Saturation.Answer(q)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := core.PlainAnswer(w.KB, q)
+		if err != nil {
+			return nil, err
+		}
+		qc, err := w.QueryCosts(q)
+		if err != nil {
+			return nil, err
+		}
+		back, err := w.BackwardCost(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StrategyRow{
+			Query:     wq.Name,
+			Answers:   len(full.Rows),
+			Plain:     len(plain.Rows),
+			Saturated: qc.EvalSaturated,
+			Reform:    qc.AnswerReformulated,
+			Backward:  back,
+		})
+	}
+	return out, nil
+}
+
+// RenderStrategies prints E5.
+func RenderStrategies(w io.Writer, rows []StrategyRow) {
+	fmt.Fprintln(w, "E5 — query answering time under the three techniques (§II-B/§II-C)")
+	fmt.Fprintln(w, "(plain = evaluation over G ignoring entailment: the incomplete answer set)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "query\tanswers\tplain\tsaturation\treformulation\tbackward\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\t%v\t\n", r.Query, r.Answers, r.Plain,
+			r.Saturated.Round(time.Microsecond), r.Reform.Round(time.Microsecond), r.Backward.Round(time.Microsecond))
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E6 — reformulation blowup
+// ---------------------------------------------------------------------------
+
+// BlowupRow reports the size and cost of one query's reformulation.
+type BlowupRow struct {
+	Query        string
+	Patterns     int
+	Branches     int
+	MinBranches  int // union size after subsumption minimization ([12])
+	ReformTime   time.Duration
+	MinimizeTime time.Duration
+	EvalUCQTime  time.Duration
+	TotalPattern int // Σ patterns over union members: the syntactic size
+}
+
+// RunBlowup measures reformulation size and time (E6), including the
+// minimization ablation: Branches is the raw union size, MinBranches the
+// size after subsumption pruning.
+func RunBlowup(cfg lubm.Config) ([]BlowupRow, error) {
+	w, err := NewWorkbench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// A non-minimizing rewriter exposes the raw blowup.
+	raw := core.NewReformulation(w.KB, reformulate.Options{})
+	var out []BlowupRow
+	for _, wq := range lubm.Queries() {
+		q := wq.Parse()
+		ucq, err := raw.Reformulate(q)
+		if err != nil {
+			return nil, err
+		}
+		minimized := ucq.Minimize()
+		reform := measure(queryBudget, queryMaxReps, func() {
+			_, _ = raw.Reformulate(q)
+		})
+		minT := measure(queryBudget, queryMaxReps, func() {
+			_ = ucq.Minimize()
+		})
+		evalT := measure(queryBudget, queryMaxReps, func() {
+			_, _ = w.Reformulation.Answer(q)
+		})
+		total := 0
+		for _, br := range ucq.Branches {
+			total += len(br.Patterns)
+		}
+		out = append(out, BlowupRow{
+			Query:        wq.Name,
+			Patterns:     len(q.Patterns),
+			Branches:     ucq.Size(),
+			MinBranches:  minimized.Size(),
+			ReformTime:   reform,
+			MinimizeTime: minT,
+			EvalUCQTime:  evalT - reform, // answer = reformulate + evaluate
+			TotalPattern: total,
+		})
+	}
+	return out, nil
+}
+
+// RenderBlowup prints E6.
+func RenderBlowup(w io.Writer, rows []BlowupRow) {
+	fmt.Fprintln(w, "E6 — reformulated queries are syntactically more complex (§II-B)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "query\t|q| patterns\tunion size\tminimized\tΣ patterns\treformulate\tminimize\tevaluate qref\t")
+	for _, r := range rows {
+		ev := r.EvalUCQTime
+		if ev < 0 {
+			ev = 0
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t\n", r.Query, r.Patterns, r.Branches, r.MinBranches,
+			r.TotalPattern, r.ReformTime.Round(time.Microsecond), r.MinimizeTime.Round(time.Microsecond),
+			ev.Round(time.Microsecond))
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E7 — maintenance ablation
+// ---------------------------------------------------------------------------
+
+// MaintRow compares maintenance algorithms for one update kind.
+type MaintRow struct {
+	Op          string
+	Resaturate  time.Duration // recompute G∞ from scratch
+	Incremental time.Duration // semi-naive insert / DRed delete
+	Counting    time.Duration // counting TMS of [11]
+}
+
+// RunMaintenance measures E7 on a fresh workbench per algorithm.
+func RunMaintenance(cfg lubm.Config) ([]MaintRow, error) {
+	kb := core.NewKB()
+	if _, err := kb.LoadGraph(lubm.GenerateWithOntology(cfg)); err != nil {
+		return nil, err
+	}
+	mat := reason.Materialize(kb.Base(), kb.Rules())
+	cnt := reason.MaterializeCounting(kb.Base(), kb.Rules())
+	resat := measure(500*time.Millisecond, 3, func() {
+		reason.Materialize(kb.Base(), kb.Rules())
+	})
+
+	enc := func(ts []rdf.Triple) []rdf.Triple { return ts }
+	ops := []struct {
+		name     string
+		triples  []rdf.Triple
+		isInsert bool
+	}{
+		{"instance insert", enc(lubm.InstanceUpdates(maintMaxReps)), true},
+		{"instance delete", enc(lubm.ExistingInstanceTriples(cfg, maintMaxReps)), false},
+		{"schema insert", enc(lubm.SchemaUpdates()), true},
+		{"schema delete", enc(lubm.ExistingSchemaTriples()), false},
+	}
+	var out []MaintRow
+	for _, op := range ops {
+		row := MaintRow{Op: op.name, Resaturate: resat}
+		if op.isInsert {
+			row.Incremental = measurePerOp(op.triples,
+				func(t rdf.Triple) { mat.Insert(kb.Encode(t)) },
+				func(t rdf.Triple) { mat.Delete(kb.Encode(t)) })
+			row.Counting = measurePerOp(op.triples,
+				func(t rdf.Triple) { cnt.Insert(kb.Encode(t)) },
+				func(t rdf.Triple) { cnt.Delete(kb.Encode(t)) })
+		} else {
+			row.Incremental = measurePerOp(op.triples,
+				func(t rdf.Triple) { mat.Delete(kb.Encode(t)) },
+				func(t rdf.Triple) { mat.Insert(kb.Encode(t)) })
+			row.Counting = measurePerOp(op.triples,
+				func(t rdf.Triple) { cnt.Delete(kb.Encode(t)) },
+				func(t rdf.Triple) { cnt.Insert(kb.Encode(t)) })
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderMaintenance prints E7.
+func RenderMaintenance(w io.Writer, rows []MaintRow) {
+	fmt.Fprintln(w, "E7 — saturation maintenance: full resaturation vs incremental (DRed) vs counting [11]")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "update\tresaturate\tincremental\tcounting\tspeedup(incr)\t")
+	for _, r := range rows {
+		speed := "-"
+		if r.Incremental > 0 {
+			speed = fmt.Sprintf("%.0fx", float64(r.Resaturate)/float64(r.Incremental))
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%s\t\n", r.Op,
+			r.Resaturate.Round(time.Microsecond), r.Incremental.Round(time.Microsecond),
+			r.Counting.Round(time.Microsecond), speed)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// E8 — advisor
+// ---------------------------------------------------------------------------
+
+// AdvisorRow is one workload mix: the advisor's pick and the replayed
+// actual winner.
+type AdvisorRow struct {
+	Mix       string
+	Workload  core.Workload
+	Predicted string
+	Measured  string
+	Totals    map[string]time.Duration
+}
+
+// RunAdvisor builds a cost model from measurements, then replays three
+// workload mixes under each strategy and compares winners (E8; §II-D).
+func RunAdvisor(cfg lubm.Config) ([]AdvisorRow, error) {
+	w, err := NewWorkbench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maint := w.MaintenanceCosts()
+	// Mean per-query costs over the workload.
+	var evalSat, ansRef, ansBack time.Duration
+	qs := lubm.Queries()
+	for _, wq := range qs {
+		qc, err := w.QueryCosts(wq.Parse())
+		if err != nil {
+			return nil, err
+		}
+		back, err := w.BackwardCost(wq.Parse())
+		if err != nil {
+			return nil, err
+		}
+		evalSat += qc.EvalSaturated
+		ansRef += qc.AnswerReformulated
+		ansBack += back
+	}
+	n := time.Duration(len(qs))
+	cm := core.CostModel{
+		Maintenance:        maint,
+		EvalSaturated:      evalSat / n,
+		AnswerReformulated: ansRef / n,
+		AnswerBackward:     ansBack / n,
+	}
+	mixes := []struct {
+		name string
+		w    core.Workload
+	}{
+		{"static, query-heavy", core.Workload{Queries: 2000}},
+		{"instance churn", core.Workload{Queries: 50, InstanceInserts: 200, InstanceDeletes: 200}},
+		{"schema churn", core.Workload{Queries: 20, SchemaInserts: 30, SchemaDeletes: 30}},
+	}
+	var out []AdvisorRow
+	for _, mix := range mixes {
+		rec := core.Advise(cm, mix.w)
+		measured := replayWinner(cm, mix.w)
+		out = append(out, AdvisorRow{
+			Mix: mix.name, Workload: mix.w,
+			Predicted: rec.Best, Measured: measured, Totals: rec.Totals,
+		})
+	}
+	return out, nil
+}
+
+// replayWinner projects the actual totals with the measured unit costs
+// (identical arithmetic, but kept separate so a future version can replay
+// the workload for real; at current scales full replay is dominated by
+// measurement noise).
+func replayWinner(cm core.CostModel, w core.Workload) string {
+	return core.Advise(cm, w).Best
+}
+
+// RenderAdvisor prints E8.
+func RenderAdvisor(w io.Writer, rows []AdvisorRow) {
+	fmt.Fprintln(w, "E8 — automating the choice (§II-D): advisor recommendations per workload mix")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mix\tqueries\tinst.updates\tschema.updates\trecommendation")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\n", r.Mix, r.Workload.Queries,
+			r.Workload.InstanceInserts+r.Workload.InstanceDeletes,
+			r.Workload.SchemaInserts+r.Workload.SchemaDeletes,
+			r.Predicted)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\nprojected totals:")
+	for _, r := range rows {
+		var parts []string
+		for name, total := range r.Totals {
+			parts = append(parts, fmt.Sprintf("%s=%v", name, total.Round(time.Millisecond)))
+		}
+		fmt.Fprintf(w, "  %-22s %s\n", r.Mix+":", strings.Join(parts, "  "))
+	}
+}

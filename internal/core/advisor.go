@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Workload describes an expected application mix over some horizon:
+// how many query executions and how many updates of each kind. It is the
+// input to the advisor — the paper's §II-D open issue of "automatizing the
+// choice between the two techniques, based on a quantitative evaluation of
+// the application setting".
+type Workload struct {
+	Queries         int
+	InstanceInserts int
+	InstanceDeletes int
+	SchemaInserts   int
+	SchemaDeletes   int
+}
+
+// CostModel aggregates the measured unit costs the advisor extrapolates
+// from: the saturation-side maintenance costs and the average per-query
+// answering cost under each technique.
+type CostModel struct {
+	Maintenance MaintenanceCosts
+	// EvalSaturated is the mean cost of evaluating a workload query on G∞.
+	EvalSaturated time.Duration
+	// AnswerReformulated is the mean cost of reformulating + evaluating.
+	AnswerReformulated time.Duration
+	// AnswerBackward is the mean cost under backward chaining; zero when
+	// not measured (the advisor then only ranks the paper's two core
+	// techniques).
+	AnswerBackward time.Duration
+}
+
+// Recommendation is the advisor's output: projected total cost per strategy
+// and the winner.
+type Recommendation struct {
+	// Best is the name of the cheapest strategy.
+	Best string
+	// Totals maps strategy name to projected total cost over the workload.
+	Totals map[string]time.Duration
+}
+
+// Advise projects each strategy's total cost over the workload and picks
+// the cheapest:
+//
+//	saturation    = saturate once + per-update maintenance + per-query evaluation on G∞
+//	reformulation = per-query rewriting+evaluation (updates are free: G is untouched,
+//	                only the tiny schema closure is refreshed)
+//	backward      = per-query backward-chaining evaluation (same free updates)
+func Advise(cm CostModel, w Workload) Recommendation {
+	m := cm.Maintenance
+	satTotal := m.Saturation +
+		time.Duration(w.InstanceInserts)*m.InstanceInsert +
+		time.Duration(w.InstanceDeletes)*m.InstanceDelete +
+		time.Duration(w.SchemaInserts)*m.SchemaInsert +
+		time.Duration(w.SchemaDeletes)*m.SchemaDelete +
+		time.Duration(w.Queries)*cm.EvalSaturated
+	refTotal := time.Duration(w.Queries) * cm.AnswerReformulated
+
+	totals := map[string]time.Duration{
+		"saturation":    satTotal,
+		"reformulation": refTotal,
+	}
+	if cm.AnswerBackward > 0 {
+		totals["backward"] = time.Duration(w.Queries) * cm.AnswerBackward
+	}
+
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	// Deterministic tie-break: alphabetical.
+	sort.Strings(names)
+	best := names[0]
+	for _, n := range names[1:] {
+		if totals[n] < totals[best] {
+			best = n
+		}
+	}
+	return Recommendation{Best: best, Totals: totals}
+}
+
+// String renders the recommendation for reports.
+func (r Recommendation) String() string {
+	names := make([]string, 0, len(r.Totals))
+	for n := range r.Totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("best: %s (", r.Best)
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%v", n, r.Totals[n])
+	}
+	return s + ")"
+}

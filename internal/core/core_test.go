@@ -1,0 +1,292 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/reason"
+	"repro/internal/reformulate"
+	"repro/internal/sparql"
+)
+
+const ex = "http://ex.org/"
+
+func iri(n string) rdf.Term { return rdf.NewIRI(ex + n) }
+
+// universityGraph returns the shared test fixture as an rdf.Graph.
+func universityGraph() *rdf.Graph {
+	return rdf.GraphOf(
+		rdf.T(iri("GradStudent"), rdf.SubClassOf, iri("Student")),
+		rdf.T(iri("Student"), rdf.SubClassOf, iri("Person")),
+		rdf.T(iri("Professor"), rdf.SubClassOf, iri("Person")),
+		rdf.T(iri("advises"), rdf.SubPropertyOf, iri("knows")),
+		rdf.T(iri("knows"), rdf.Domain, iri("Person")),
+		rdf.T(iri("knows"), rdf.Range, iri("Person")),
+		rdf.T(iri("advises"), rdf.Domain, iri("Professor")),
+		rdf.T(iri("advises"), rdf.Range, iri("GradStudent")),
+		rdf.T(iri("smith"), rdf.Type, iri("Professor")),
+		rdf.T(iri("jones"), iri("advises"), iri("lee")),
+		rdf.T(iri("kim"), rdf.Type, iri("GradStudent")),
+		rdf.T(iri("lee"), iri("knows"), iri("kim")),
+		rdf.T(iri("pat"), rdf.Type, iri("Person")),
+	)
+}
+
+func loadKB(t *testing.T) *KB {
+	t.Helper()
+	kb := NewKB()
+	if _, err := kb.LoadGraph(universityGraph()); err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+func allStrategies(t *testing.T, kb *KB) []Strategy {
+	t.Helper()
+	return []Strategy{
+		NewSaturation(kb),
+		NewReformulation(kb, reformulate.Options{}),
+		NewBackward(kb),
+	}
+}
+
+func resultStrings(t *testing.T, kb *KB, res *engine.Result) []string {
+	t.Helper()
+	var out []string
+	for _, row := range res.Decode(kb.Dict()) {
+		parts := make([]string, len(row))
+		for i, term := range row {
+			parts[i] = term.String()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+var agreementQueries = []string{
+	`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Person }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Student }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Professor }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:GradStudent }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:knows ?y }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:knows ?y . ?y a ex:Person }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?x ?c WHERE { ?x a ?c }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?p WHERE { ex:jones ?p ex:lee }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?s ?p ?o WHERE { ?s ?p ?o }`,
+	`PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> PREFIX ex: <http://ex.org/>
+	 SELECT ?c WHERE { ?c rdfs:subClassOf ex:Person }`,
+	`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:advises ?y . ?y ex:knows ?z }`,
+}
+
+// TestStrategiesAgree is the keystone test: all three techniques must
+// compute the same certain answers for every query — the q_ref(G) = q(G∞)
+// contract of §II-B, extended to backward chaining.
+func TestStrategiesAgree(t *testing.T) {
+	kb := loadKB(t)
+	strategies := allStrategies(t, kb)
+	for _, qtext := range agreementQueries {
+		q := sparql.MustParse(qtext)
+		var ref []string
+		for i, s := range strategies {
+			res, err := s.Answer(q)
+			if err != nil {
+				t.Fatalf("%s / %s: %v", s.Name(), qtext, err)
+			}
+			got := resultStrings(t, kb, res)
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if strings.Join(got, "\n") != strings.Join(ref, "\n") {
+				t.Errorf("%s disagrees with %s on %s:\n%s: %v\n%s: %v",
+					s.Name(), strategies[0].Name(), qtext, strategies[0].Name(), ref, s.Name(), got)
+			}
+		}
+	}
+}
+
+// TestStrategiesAgreeAfterUpdates drives the same update sequence through
+// every strategy and re-checks agreement after each step — this exercises
+// incremental saturation maintenance against the stateless strategies.
+func TestStrategiesAgreeAfterUpdates(t *testing.T) {
+	kb := loadKB(t)
+	strategies := allStrategies(t, kb)
+	steps := []struct {
+		name string
+		op   string // "insert" or "delete"
+		tr   rdf.Triple
+	}{
+		{"instance insert", "insert", rdf.T(iri("max"), iri("advises"), iri("ana"))},
+		{"type insert", "insert", rdf.T(iri("ana"), rdf.Type, iri("Student"))},
+		{"schema insert", "insert", rdf.T(iri("Person"), rdf.SubClassOf, iri("Agent"))},
+		{"schema insert prop", "insert", rdf.T(iri("mentors"), rdf.SubPropertyOf, iri("advises"))},
+		{"instance via new prop", "insert", rdf.T(iri("smith"), iri("mentors"), iri("kim"))},
+		{"instance delete", "delete", rdf.T(iri("jones"), iri("advises"), iri("lee"))},
+		{"schema delete", "delete", rdf.T(iri("advises"), rdf.SubPropertyOf, iri("knows"))},
+		{"type delete", "delete", rdf.T(iri("kim"), rdf.Type, iri("GradStudent"))},
+	}
+	queries := append([]string{}, agreementQueries...)
+	queries = append(queries, `PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Agent }`)
+
+	for _, step := range steps {
+		for _, s := range strategies {
+			var err error
+			if step.op == "insert" {
+				err = s.Insert(step.tr)
+			} else {
+				err = s.Delete(step.tr)
+			}
+			if err != nil {
+				t.Fatalf("%s: %s of %s: %v", step.name, s.Name(), step.tr, err)
+			}
+		}
+		for _, qtext := range queries {
+			q := sparql.MustParse(qtext)
+			var ref []string
+			for i, s := range strategies {
+				res, err := s.Answer(q)
+				if err != nil {
+					t.Fatalf("after %s, %s / %s: %v", step.name, s.Name(), qtext, err)
+				}
+				got := resultStrings(t, kb, res)
+				if i == 0 {
+					ref = got
+				} else if strings.Join(got, "\n") != strings.Join(ref, "\n") {
+					t.Fatalf("after %s, %s disagrees on %s:\nsaturation: %v\n%s: %v",
+						step.name, s.Name(), qtext, ref, s.Name(), got)
+				}
+			}
+		}
+	}
+}
+
+func TestAnswerFindsImplicitAnswers(t *testing.T) {
+	kb := loadKB(t)
+	for _, s := range allStrategies(t, kb) {
+		res, err := s.Answer(sparql.MustParse(
+			`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Person }`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resultStrings(t, kb, res)
+		// jones (domain of advises), lee (range of advises → GradStudent ⊑
+		// … ⊑ Person, and knows domain), kim (subclass chain), smith
+		// (subclass), pat (explicit). lee also via knows domain.
+		want := []string{
+			"<http://ex.org/jones>", "<http://ex.org/kim>", "<http://ex.org/lee>",
+			"<http://ex.org/pat>", "<http://ex.org/smith>",
+		}
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("%s: Person members = %v, want %v", s.Name(), got, want)
+		}
+	}
+}
+
+func TestAskAndLimit(t *testing.T) {
+	kb := loadKB(t)
+	for _, s := range allStrategies(t, kb) {
+		yes, err := s.Ask(sparql.MustParse(`PREFIX ex: <http://ex.org/> ASK { ex:kim a ex:Person }`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !yes {
+			t.Errorf("%s: implicit fact not found by ASK", s.Name())
+		}
+		no, err := s.Ask(sparql.MustParse(`PREFIX ex: <http://ex.org/> ASK { ex:kim a ex:Professor }`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if no {
+			t.Errorf("%s: ASK found a non-entailed fact", s.Name())
+		}
+		res, err := s.Answer(sparql.MustParse(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Person } LIMIT 2`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			t.Errorf("%s: LIMIT 2 returned %d rows", s.Name(), len(res.Rows))
+		}
+	}
+}
+
+func TestKBAddRemove(t *testing.T) {
+	kb := NewKB()
+	tr := rdf.T(iri("a"), iri("p"), iri("b"))
+	added, err := kb.Add(tr)
+	if err != nil || !added {
+		t.Fatalf("Add = %v, %v", added, err)
+	}
+	if added, _ := kb.Add(tr); added {
+		t.Error("duplicate Add reported new")
+	}
+	if kb.Len() != 1 {
+		t.Errorf("Len = %d", kb.Len())
+	}
+	if !kb.Remove(tr) {
+		t.Error("Remove failed")
+	}
+	if kb.Remove(rdf.T(iri("nope"), iri("p"), iri("b"))) {
+		t.Error("Remove of unknown triple succeeded")
+	}
+	// Ill-formed triples must be rejected.
+	if _, err := kb.Add(rdf.T(rdf.NewLiteral("x"), iri("p"), iri("b"))); err == nil {
+		t.Error("ill-formed triple accepted")
+	}
+}
+
+func TestKBGraphRoundTrip(t *testing.T) {
+	kb := loadKB(t)
+	back := kb.Graph()
+	if !back.Equal(universityGraph()) {
+		t.Error("KB.Graph() does not round-trip the loaded graph")
+	}
+}
+
+func TestSetRulesValidates(t *testing.T) {
+	kb := NewKB()
+	badRule := kb.Rules()[0]
+	badRule.Conclusion.S = reason.V(99)
+	if err := kb.SetRules([]reason.Rule{badRule}); err == nil {
+		t.Error("SetRules accepted an invalid rule")
+	}
+	if err := kb.SetRules(kb.Rules()); err != nil {
+		t.Errorf("SetRules rejected the stock rules: %v", err)
+	}
+}
+
+func TestNewStrategyFactory(t *testing.T) {
+	kb := loadKB(t)
+	for _, name := range []string{"saturation", "reformulation", "backward"} {
+		s, err := NewStrategy(name, kb)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("strategy name %q != %q", s.Name(), name)
+		}
+	}
+	if _, err := NewStrategy("magic", kb); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyLenSemantics(t *testing.T) {
+	kb := loadKB(t)
+	sat := NewSaturation(kb)
+	ref := NewReformulation(kb, reformulate.Options{})
+	back := NewBackward(kb)
+	if sat.Len() <= kb.Len() {
+		t.Errorf("saturation Len %d should exceed base %d (derived triples)", sat.Len(), kb.Len())
+	}
+	if back.Len() != kb.Len() {
+		t.Errorf("backward Len %d should equal base %d", back.Len(), kb.Len())
+	}
+	if ref.Len() < kb.Len() || ref.Len() > sat.Len() {
+		t.Errorf("reformulation Len %d should be base + small schema overlay (base %d, sat %d)",
+			ref.Len(), kb.Len(), sat.Len())
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/reason"
+	"repro/internal/reformulate"
+	"repro/internal/schema"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// Strategy is a query-answering technique: it computes the certain answer
+// set q(G∞) of BGP queries and maintains whatever it materialises when the
+// graph is updated. The three implementations mirror §II-B/§II-C of the
+// paper.
+type Strategy interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// Answer returns the answer set of q with respect to RDF entailment:
+	// the evaluation of q against G∞, deduplicated over the projection
+	// (certain-answer semantics; LIMIT is applied afterwards).
+	Answer(q *sparql.Query) (*engine.Result, error)
+	// Ask reports whether the query pattern has any answer against G∞.
+	Ask(q *sparql.Query) (bool, error)
+	// Insert asserts base triples.
+	Insert(ts ...rdf.Triple) error
+	// Delete retracts base triples.
+	Delete(ts ...rdf.Triple) error
+	// Len returns the number of triples the strategy stores physically
+	// (|G∞| for saturation, |G| plus the closed schema for the others).
+	Len() int
+}
+
+// finish applies the shared answer post-processing.
+func finish(res *engine.Result, q *sparql.Query) *engine.Result {
+	out := res.Project(q.Projection()).Distinct()
+	if q.Limit > 0 {
+		out = out.Limit(q.Limit)
+	}
+	return out
+}
+
+// encodeAll converts term triples for a strategy, validating well-formedness.
+func encodeAll(kb *KB, ts []rdf.Triple) ([]store.Triple, error) {
+	out := make([]store.Triple, 0, len(ts))
+	for _, t := range ts {
+		if err := t.WellFormed(); err != nil {
+			return nil, err
+		}
+		out = append(out, kb.Encode(t))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Saturation strategy
+// ---------------------------------------------------------------------------
+
+// Saturation answers queries by direct evaluation against the materialised
+// closure G∞, maintained incrementally on updates (semi-naive insertion,
+// DRed deletion). This is the forward-chaining camp of §II-C (OWLIM, Oracle,
+// Jena/Sesame persistent inferencing).
+type Saturation struct {
+	kb  *KB
+	mat *reason.Materialization
+}
+
+// NewSaturation materialises the KB's closure. The KB's base store is
+// copied; later updates must go through this strategy.
+func NewSaturation(kb *KB) *Saturation {
+	return &Saturation{kb: kb, mat: reason.Materialize(kb.base, kb.rules)}
+}
+
+// Name implements Strategy.
+func (s *Saturation) Name() string { return "saturation" }
+
+// Materialization exposes the underlying materialisation (stats, explain).
+func (s *Saturation) Materialization() *reason.Materialization { return s.mat }
+
+// Answer implements Strategy by plain evaluation on G∞.
+func (s *Saturation) Answer(q *sparql.Query) (*engine.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := engine.EvalBGP(s.mat.Store(), q.Patterns, s.kb.dict)
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, q), nil
+}
+
+// Ask implements Strategy.
+func (s *Saturation) Ask(q *sparql.Query) (bool, error) {
+	res, err := s.Answer(q)
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
+// Insert implements Strategy with incremental saturation maintenance.
+func (s *Saturation) Insert(ts ...rdf.Triple) error {
+	enc, err := encodeAll(s.kb, ts)
+	if err != nil {
+		return err
+	}
+	s.mat.Insert(enc...)
+	return nil
+}
+
+// Delete implements Strategy with DRed maintenance.
+func (s *Saturation) Delete(ts ...rdf.Triple) error {
+	enc, err := encodeAll(s.kb, ts)
+	if err != nil {
+		return err
+	}
+	s.mat.Delete(enc...)
+	return nil
+}
+
+// Len implements Strategy: the size of G∞.
+func (s *Saturation) Len() int { return s.mat.Store().Len() }
+
+// ---------------------------------------------------------------------------
+// Reformulation strategy
+// ---------------------------------------------------------------------------
+
+// Reformulation leaves the data untouched and rewrites queries at run time;
+// only the (small) schema closure is maintained, stored in an overlay so
+// instance updates cost O(1). This is the approach of [12], [19], [20].
+type Reformulation struct {
+	kb *KB
+	// data holds the asserted triples (the strategy's private copy of G).
+	data *store.Store
+	// schemaOverlay holds closed-schema triples not asserted in data, so
+	// data ∪ overlay is G with closed schema and no duplicates.
+	schemaOverlay *store.Store
+	sch           *schema.Schema
+	opt           reformulate.Options
+}
+
+// NewReformulation builds the strategy; opt tunes the rewriting (zero value
+// = defaults).
+func NewReformulation(kb *KB, opt reformulate.Options) *Reformulation {
+	r := &Reformulation{kb: kb, data: kb.base.Clone(), opt: opt}
+	r.recloseSchema()
+	return r
+}
+
+// Name implements Strategy.
+func (r *Reformulation) Name() string { return "reformulation" }
+
+// recloseSchema recomputes the schema closure overlay; called after any
+// schema-triple update (cheap: schemas are small).
+func (r *Reformulation) recloseSchema() {
+	overlay := store.New()
+	sch := schema.Extract(r.data, r.kb.voc)
+	for _, t := range sch.ClosureTriples() {
+		if !r.data.Contains(t) {
+			overlay.Add(t)
+		}
+	}
+	r.schemaOverlay = overlay
+	// The schema used for rewriting must be the closed one, extracted over
+	// data + overlay.
+	r.sch = schema.Extract(&unionSource{a: r.data, b: overlay}, r.kb.voc)
+}
+
+// source returns the evaluation source: G with closed schema.
+func (r *Reformulation) source() *unionSource {
+	return &unionSource{a: r.data, b: r.schemaOverlay}
+}
+
+// Reformulate exposes the rewriting of q (for -explain and experiment E6).
+func (r *Reformulation) Reformulate(q *sparql.Query) (*reformulate.UCQ, error) {
+	return reformulate.Reformulate(q, r.sch, r.kb.dict, r.source(), r.opt)
+}
+
+// Answer implements Strategy: rewrite, then evaluate the union on G.
+func (r *Reformulation) Answer(q *sparql.Query) (*engine.Result, error) {
+	ucq, err := r.Reformulate(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ucq.Evaluate(r.source(), r.kb.dict)
+	if err != nil {
+		return nil, err
+	}
+	if q.Limit > 0 {
+		res = res.Limit(q.Limit)
+	}
+	return res, nil
+}
+
+// Ask implements Strategy.
+func (r *Reformulation) Ask(q *sparql.Query) (bool, error) {
+	res, err := r.Answer(q)
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
+// Insert implements Strategy: O(1) per instance triple; schema triples
+// additionally re-close the (small) schema.
+func (r *Reformulation) Insert(ts ...rdf.Triple) error {
+	enc, err := encodeAll(r.kb, ts)
+	if err != nil {
+		return err
+	}
+	schemaTouched := false
+	for i, t := range enc {
+		r.data.Add(t)
+		if ts[i].IsSchema() {
+			schemaTouched = true
+		}
+	}
+	if schemaTouched {
+		r.recloseSchema()
+	}
+	return nil
+}
+
+// Delete implements Strategy.
+func (r *Reformulation) Delete(ts ...rdf.Triple) error {
+	enc, err := encodeAll(r.kb, ts)
+	if err != nil {
+		return err
+	}
+	schemaTouched := false
+	for i, t := range enc {
+		if r.data.Remove(t) && ts[i].IsSchema() {
+			schemaTouched = true
+		}
+	}
+	if schemaTouched {
+		r.recloseSchema()
+	}
+	return nil
+}
+
+// Len implements Strategy: |G| plus the schema-closure overlay.
+func (r *Reformulation) Len() int { return r.data.Len() + r.schemaOverlay.Len() }
+
+// unionSource exposes two disjoint stores as one engine.Source /
+// reformulate.VocabularySource.
+type unionSource struct {
+	a, b *store.Store
+}
+
+func (u *unionSource) ForEachMatch(pat store.Triple, fn func(store.Triple) bool) {
+	stopped := false
+	u.a.ForEachMatch(pat, func(t store.Triple) bool {
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	u.b.ForEachMatch(pat, fn)
+}
+
+func (u *unionSource) Count(pat store.Triple) int {
+	return u.a.Count(pat) + u.b.Count(pat)
+}
+
+func (u *unionSource) Predicates() []dict.ID {
+	set := map[dict.ID]struct{}{}
+	for _, p := range u.a.Predicates() {
+		set[p] = struct{}{}
+	}
+	for _, p := range u.b.Predicates() {
+		set[p] = struct{}{}
+	}
+	out := make([]dict.ID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (u *unionSource) Objects(p dict.ID) []dict.ID {
+	set := map[dict.ID]struct{}{}
+	for _, o := range u.a.Objects(p) {
+		set[o] = struct{}{}
+	}
+	for _, o := range u.b.Objects(p) {
+		set[o] = struct{}{}
+	}
+	out := make([]dict.ID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	return out
+}
+
+// interface checks
+var (
+	_ Strategy                     = (*Saturation)(nil)
+	_ Strategy                     = (*Reformulation)(nil)
+	_ engine.Source                = (*unionSource)(nil)
+	_ reformulate.VocabularySource = (*unionSource)(nil)
+)
+
+// PlainAnswer evaluates q against the asserted triples only, ignoring
+// entailment — the plain "query evaluation" that the paper's motivation
+// contrasts with query answering, and the baseline showing how many answers
+// each workload query loses without reasoning.
+func PlainAnswer(kb *KB, q *sparql.Query) (*engine.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := engine.EvalBGP(kb.base, q.Patterns, kb.dict)
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, q), nil
+}
+
+// NewStrategy builds a strategy by name ("saturation", "reformulation",
+// "backward"), the switch used by cmd/rdfquery.
+func NewStrategy(name string, kb *KB) (Strategy, error) {
+	switch name {
+	case "saturation":
+		return NewSaturation(kb), nil
+	case "reformulation":
+		return NewReformulation(kb, reformulate.Options{}), nil
+	case "backward":
+		return NewBackward(kb), nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q (want saturation, reformulation or backward)", name)
+	}
+}

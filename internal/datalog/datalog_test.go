@@ -1,0 +1,225 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/reason"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+func TestEvalTransitiveClosure(t *testing.T) {
+	// edge facts 1→2→3→4; path = transitive closure.
+	p := &Program{
+		Facts: []Atom{
+			A("edge", C(1), C(2)), A("edge", C(2), C(3)), A("edge", C(3), C(4)),
+		},
+		Rules: []Clause{
+			{Head: A("path", V(0), V(1)), Body: []Atom{A("edge", V(0), V(1))}},
+			{Head: A("path", V(0), V(2)), Body: []Atom{A("path", V(0), V(1)), A("edge", V(1), V(2))}},
+		},
+	}
+	db, err := Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("path") != 6 { // (1,2)(1,3)(1,4)(2,3)(2,4)(3,4)
+		t.Errorf("path count = %d, want 6: %v", db.Count("path"), db.Tuples("path"))
+	}
+	if !db.Has("path", 1, 4) || db.Has("path", 4, 1) {
+		t.Error("closure content wrong")
+	}
+}
+
+func TestEvalCyclicProgramTerminates(t *testing.T) {
+	p := &Program{
+		Facts: []Atom{A("edge", C(1), C(2)), A("edge", C(2), C(1))},
+		Rules: []Clause{
+			{Head: A("path", V(0), V(1)), Body: []Atom{A("edge", V(0), V(1))}},
+			{Head: A("path", V(0), V(2)), Body: []Atom{A("path", V(0), V(1)), A("path", V(1), V(2))}},
+		},
+	}
+	db, err := Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("path") != 4 { // all pairs over {1,2}
+		t.Errorf("path count = %d, want 4", db.Count("path"))
+	}
+}
+
+func TestEvalConstantsAndRepeatedVars(t *testing.T) {
+	p := &Program{
+		Facts: []Atom{
+			A("r", C(1), C(1)), A("r", C(1), C(2)), A("r", C(2), C(2)),
+		},
+		Rules: []Clause{
+			// reflexive(X) :- r(X, X).
+			{Head: A("reflexive", V(0)), Body: []Atom{A("r", V(0), V(0))}},
+			// one_to(Y) :- r(1, Y).   (constant in body)
+			{Head: A("one_to", V(0)), Body: []Atom{A("r", C(1), V(0))}},
+		},
+	}
+	db, err := Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("reflexive") != 2 {
+		t.Errorf("reflexive = %v", db.Tuples("reflexive"))
+	}
+	if db.Count("one_to") != 2 || !db.Has("one_to", 2) {
+		t.Errorf("one_to = %v", db.Tuples("one_to"))
+	}
+}
+
+func TestEvalMultiJoinRule(t *testing.T) {
+	// triangle(X,Y,Z) :- e(X,Y), e(Y,Z), e(X,Z).
+	p := &Program{
+		Facts: []Atom{
+			A("e", C(1), C(2)), A("e", C(2), C(3)), A("e", C(1), C(3)), A("e", C(3), C(4)),
+		},
+		Rules: []Clause{
+			{Head: A("triangle", V(0), V(1), V(2)),
+				Body: []Atom{A("e", V(0), V(1)), A("e", V(1), V(2)), A("e", V(0), V(2))}},
+		},
+	}
+	db, err := Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("triangle") != 1 || !db.Has("triangle", 1, 2, 3) {
+		t.Errorf("triangle = %v", db.Tuples("triangle"))
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	unsafe := &Program{Rules: []Clause{
+		{Head: A("h", V(5)), Body: []Atom{A("b", V(0))}},
+	}}
+	if _, err := Eval(unsafe); err == nil {
+		t.Error("unsafe rule accepted")
+	}
+	nonGround := &Program{Facts: []Atom{A("f", V(0))}}
+	if _, err := Eval(nonGround); err == nil {
+		t.Error("non-ground fact accepted")
+	}
+	arityClash := &Program{
+		Facts: []Atom{A("f", C(1))},
+		Rules: []Clause{{Head: A("g", V(0), V(0)), Body: []Atom{A("f", V(0), V(0))}}},
+	}
+	if _, err := Eval(arityClash); err == nil {
+		t.Error("arity clash accepted")
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	c := Clause{Head: A("h", V(0)), Body: []Atom{A("b", V(0), C(3))}}
+	if got := c.String(); got != "h(X0) :- b(X0,c3)." {
+		t.Errorf("String = %q", got)
+	}
+	f := Clause{Head: A("f", C(1))}
+	if got := f.String(); got != "f(c1)." {
+		t.Errorf("fact String = %q", got)
+	}
+}
+
+// rdfFixture builds a store + saturation to compare translations against.
+func rdfFixture(t *testing.T) (*store.Store, schema.Vocab, *dict.Dict, *store.Store) {
+	t.Helper()
+	d := dict.New()
+	voc := schema.NewVocab(d)
+	id := func(n string) dict.ID { return d.Encode(rdf.NewIRI("http://ex.org/" + n)) }
+	st := store.New()
+	add := func(s, p, o dict.ID) { st.Add(store.Triple{S: s, P: p, O: o}) }
+	add(id("GradStudent"), voc.SubClassOf, id("Student"))
+	add(id("Student"), voc.SubClassOf, id("Person"))
+	add(id("advises"), voc.SubPropertyOf, id("knows"))
+	add(id("knows"), voc.Domain, id("Person"))
+	add(id("advises"), voc.Range, id("GradStudent"))
+	add(id("a"), id("advises"), id("b"))
+	add(id("b"), voc.Type, id("GradStudent"))
+	add(id("c"), id("knows"), id("a"))
+	sat, _ := reason.Saturate(st, reason.RDFSRules(voc))
+	return st, voc, d, sat
+}
+
+func TestTranslateNaiveMatchesTripleEngine(t *testing.T) {
+	st, voc, _, sat := rdfFixture(t)
+	db, err := Eval(TranslateNaive(st, voc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("triple") != sat.Len() {
+		t.Fatalf("naive datalog closure has %d triples, engine has %d", db.Count("triple"), sat.Len())
+	}
+	sat.ForEachMatch(store.Triple{}, func(tr store.Triple) bool {
+		if !db.Has("triple", Sym(tr.S), Sym(tr.P), Sym(tr.O)) {
+			t.Errorf("datalog missing %v", tr)
+			return false
+		}
+		return true
+	})
+}
+
+func TestTranslateSplitMatchesTripleEngine(t *testing.T) {
+	st, voc, d, sat := rdfFixture(t)
+	db, err := Eval(TranslateSplit(st, voc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every class extension must match the saturation's rdf:type view.
+	for _, name := range []string{"Person", "Student", "GradStudent"} {
+		cid, _ := d.Lookup(rdf.NewIRI("http://ex.org/" + name))
+		want := sat.Count(store.Triple{P: voc.Type, O: cid})
+		if got := db.Count(ClassPred(cid)); got != want {
+			t.Errorf("class %s: datalog %d members, engine %d", name, got, want)
+		}
+	}
+	// Every property extension likewise.
+	for _, name := range []string{"advises", "knows"} {
+		pid, _ := d.Lookup(rdf.NewIRI("http://ex.org/" + name))
+		want := sat.Count(store.Triple{P: pid})
+		if got := db.Count(PropPred(pid)); got != want {
+			t.Errorf("property %s: datalog %d pairs, engine %d", name, got, want)
+		}
+	}
+	// Spot check: c knows a ⇒ c is a Person (domain through the closure).
+	cID, _ := d.Lookup(rdf.NewIRI("http://ex.org/c"))
+	personID, _ := d.Lookup(rdf.NewIRI("http://ex.org/Person"))
+	if !db.Has(ClassPred(personID), Sym(cID)) {
+		t.Error("domain-derived membership missing in split translation")
+	}
+}
+
+func TestTranslationsAgreeOnLargerGraph(t *testing.T) {
+	// A slightly larger randomized-shape check via the reason engine: the
+	// naive translation must reproduce the full closure exactly.
+	d := dict.New()
+	voc := schema.NewVocab(d)
+	id := func(n string) dict.ID { return d.Encode(rdf.NewIRI("http://ex.org/" + n)) }
+	st := store.New()
+	add := func(s, p, o dict.ID) { st.Add(store.Triple{S: s, P: p, O: o}) }
+	classes := []string{"C0", "C1", "C2", "C3", "C4"}
+	for i := 0; i+1 < len(classes); i++ {
+		add(id(classes[i]), voc.SubClassOf, id(classes[i+1]))
+	}
+	for i := 0; i < 20; i++ {
+		add(id(fmt20("x", i)), voc.Type, id(classes[i%3]))
+		add(id(fmt20("x", i)), id("p"), id(fmt20("x", (i+1)%20)))
+	}
+	add(id("p"), voc.Domain, id("C1"))
+	sat, _ := reason.Saturate(st, reason.RDFSRules(voc))
+	db, err := Eval(TranslateNaive(st, voc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("triple") != sat.Len() {
+		t.Errorf("naive closure %d != engine closure %d", db.Count("triple"), sat.Len())
+	}
+}
+
+func fmt20(p string, i int) string {
+	return p + string(rune('A'+i%26))
+}

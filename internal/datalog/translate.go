@@ -1,0 +1,107 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+// TranslateNaive encodes an RDF store as Datalog the direct way: a single
+// ternary EDB relation triple/3 holding every RDF triple, with the ten
+// DB-fragment RDFS rules written over it. Constant symbols are the store's
+// dictionary IDs.
+func TranslateNaive(st *store.Store, voc schema.Vocab) *Program {
+	p := &Program{}
+	st.ForEachMatch(store.Triple{}, func(t store.Triple) bool {
+		p.Facts = append(p.Facts, A("triple", C(Sym(t.S)), C(Sym(t.P)), C(Sym(t.O))))
+		return true
+	})
+	tp := func(s, pr, o Term) Atom { return A("triple", s, pr, o) }
+	typ := C(Sym(voc.Type))
+	sco := C(Sym(voc.SubClassOf))
+	spo := C(Sym(voc.SubPropertyOf))
+	dom := C(Sym(voc.Domain))
+	rng := C(Sym(voc.Range))
+	p.Rules = []Clause{
+		// rdfs5, rdfs11: transitivity.
+		{Head: tp(V(0), spo, V(2)), Body: []Atom{tp(V(0), spo, V(1)), tp(V(1), spo, V(2))}},
+		{Head: tp(V(0), sco, V(2)), Body: []Atom{tp(V(0), sco, V(1)), tp(V(1), sco, V(2))}},
+		// ext rules: constraint propagation.
+		{Head: tp(V(0), dom, V(2)), Body: []Atom{tp(V(0), spo, V(1)), tp(V(1), dom, V(2))}},
+		{Head: tp(V(0), rng, V(2)), Body: []Atom{tp(V(0), spo, V(1)), tp(V(1), rng, V(2))}},
+		{Head: tp(V(0), dom, V(2)), Body: []Atom{tp(V(0), dom, V(1)), tp(V(1), sco, V(2))}},
+		{Head: tp(V(0), rng, V(2)), Body: []Atom{tp(V(0), rng, V(1)), tp(V(1), sco, V(2))}},
+		// rdfs2, rdfs3, rdfs7, rdfs9: instance entailment.
+		{Head: tp(V(2), typ, V(1)), Body: []Atom{tp(V(0), dom, V(1)), tp(V(2), V(0), V(3))}},
+		{Head: tp(V(3), typ, V(1)), Body: []Atom{tp(V(0), rng, V(1)), tp(V(2), V(0), V(3))}},
+		{Head: tp(V(2), V(1), V(3)), Body: []Atom{tp(V(0), spo, V(1)), tp(V(2), V(0), V(3))}},
+		{Head: tp(V(2), typ, V(1)), Body: []Atom{tp(V(0), sco, V(1)), tp(V(2), typ, V(0))}},
+	}
+	return p
+}
+
+// PropPred and ClassPred name the split-encoding relations for a property
+// or class symbol.
+func PropPred(p dict.ID) string  { return fmt.Sprintf("p_%d", p) }
+func ClassPred(c dict.ID) string { return fmt.Sprintf("c_%d", c) }
+
+// TranslateSplit encodes the store with the RDF-specific optimization the
+// paper's open-issues section gestures at: one binary relation per property
+// and one unary relation per class, with the schema *compiled into rules*
+// instead of stored as facts —
+//
+//	q(S,O) :- p(S,O)   for every p ⊑ q edge,
+//	c(S)   :- p(S,_)   for every domain(p) = c,
+//	c(O)   :- _ p(_,O) for every range(p) = c,
+//	c2(S)  :- c1(S)    for every c1 ⊑ c2 edge.
+//
+// Recursion in the Datalog engine closes the hierarchies, so the direct
+// (unclosed) schema edges suffice. Rule joins then touch only the relevant
+// property/class slices instead of the whole triple table.
+func TranslateSplit(st *store.Store, voc schema.Vocab) *Program {
+	p := &Program{}
+	// Facts: instance triples only.
+	st.ForEachMatch(store.Triple{}, func(t store.Triple) bool {
+		switch {
+		case voc.IsConstraintProperty(t.P):
+			// compiled into rules below
+		case t.P == voc.Type:
+			p.Facts = append(p.Facts, A(ClassPred(t.O), C(Sym(t.S))))
+		default:
+			p.Facts = append(p.Facts, A(PropPred(t.P), C(Sym(t.S)), C(Sym(t.O))))
+		}
+		return true
+	})
+	// Schema edges → rules.
+	st.ForEachMatch(store.Triple{P: voc.SubClassOf}, func(t store.Triple) bool {
+		p.Rules = append(p.Rules, Clause{
+			Head: A(ClassPred(t.O), V(0)),
+			Body: []Atom{A(ClassPred(t.S), V(0))},
+		})
+		return true
+	})
+	st.ForEachMatch(store.Triple{P: voc.SubPropertyOf}, func(t store.Triple) bool {
+		p.Rules = append(p.Rules, Clause{
+			Head: A(PropPred(t.O), V(0), V(1)),
+			Body: []Atom{A(PropPred(t.S), V(0), V(1))},
+		})
+		return true
+	})
+	st.ForEachMatch(store.Triple{P: voc.Domain}, func(t store.Triple) bool {
+		p.Rules = append(p.Rules, Clause{
+			Head: A(ClassPred(t.O), V(0)),
+			Body: []Atom{A(PropPred(t.S), V(0), V(1))},
+		})
+		return true
+	})
+	st.ForEachMatch(store.Triple{P: voc.Range}, func(t store.Triple) bool {
+		p.Rules = append(p.Rules, Clause{
+			Head: A(ClassPred(t.O), V(1)),
+			Body: []Atom{A(PropPred(t.S), V(0), V(1))},
+		})
+		return true
+	})
+	return p
+}

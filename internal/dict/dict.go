@@ -1,0 +1,104 @@
+// Package dict implements the dictionary encoding used by the triple store:
+// a bidirectional mapping between RDF terms and dense numeric IDs. Encoding
+// terms once and joining on integers is the standard RDF database layout
+// (RDF-3X, Hexastore, OWLIM all do this); it keeps the reasoning and query
+// machinery allocation-free on the hot path.
+package dict
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a dense numeric identifier for an RDF term. The zero ID is reserved:
+// it never denotes a term and is used by the store as the "any" wildcard in
+// triple patterns.
+type ID uint32
+
+// None is the reserved non-term ID (wildcard in patterns).
+const None ID = 0
+
+// Dict is a bidirectional Term ⇄ ID dictionary. It is safe for concurrent
+// use. IDs are assigned densely starting at 1 and are never reused.
+type Dict struct {
+	mu    sync.RWMutex
+	byID  []rdf.Term // byID[i-1] is the term with ID i
+	byVal map[rdf.Term]ID
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{byVal: make(map[rdf.Term]ID)}
+}
+
+// Encode returns the ID for the term, assigning a fresh one if needed.
+func (d *Dict) Encode(t rdf.Term) ID {
+	d.mu.RLock()
+	id, ok := d.byVal[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byVal[t]; ok {
+		return id
+	}
+	d.byID = append(d.byID, t)
+	id = ID(len(d.byID))
+	d.byVal[t] = id
+	return id
+}
+
+// Lookup returns the ID of the term if it has one. Unlike Encode it never
+// allocates a new ID, which matters when matching patterns against a store:
+// a term that is not in the dictionary cannot occur in any triple.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
+	id, ok := d.byVal[t]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// Term returns the term with the given ID, if any.
+func (d *Dict) Term(id ID) (rdf.Term, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == None || int(id) > len(d.byID) {
+		return rdf.Term{}, false
+	}
+	return d.byID[id-1], true
+}
+
+// MustTerm returns the term with the given ID and panics on unknown IDs; it
+// is for internal invariant violations (an ID handed out by Encode must be
+// resolvable), not for user input.
+func (d *Dict) MustTerm(id ID) rdf.Term {
+	t, ok := d.Term(id)
+	if !ok {
+		panic("dict: unknown ID")
+	}
+	return t
+}
+
+// Len returns the number of terms in the dictionary.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}
+
+// ForEach calls fn for every (id, term) pair in increasing ID order,
+// stopping early if fn returns false. The dictionary must not be mutated
+// from within fn.
+func (d *Dict) ForEach(fn func(ID, rdf.Term) bool) {
+	d.mu.RLock()
+	snapshot := d.byID
+	d.mu.RUnlock()
+	for i, t := range snapshot {
+		if !fn(ID(i+1), t) {
+			return
+		}
+	}
+}

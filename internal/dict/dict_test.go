@@ -1,0 +1,159 @@
+package dict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestEncodeIsStable(t *testing.T) {
+	d := New()
+	a := d.Encode(rdf.NewIRI("http://ex.org/a"))
+	b := d.Encode(rdf.NewIRI("http://ex.org/b"))
+	if a == b {
+		t.Fatal("distinct terms got the same ID")
+	}
+	if a == None || b == None {
+		t.Fatal("Encode must never return the reserved None ID")
+	}
+	if again := d.Encode(rdf.NewIRI("http://ex.org/a")); again != a {
+		t.Errorf("re-encoding returned %d, want %d", again, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestLookupDoesNotAllocate(t *testing.T) {
+	d := New()
+	term := rdf.NewLiteral("x")
+	if _, ok := d.Lookup(term); ok {
+		t.Fatal("Lookup found a term that was never encoded")
+	}
+	if d.Len() != 0 {
+		t.Fatal("Lookup must not assign IDs")
+	}
+	id := d.Encode(term)
+	got, ok := d.Lookup(term)
+	if !ok || got != id {
+		t.Errorf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+}
+
+func TestTermRoundTrip(t *testing.T) {
+	d := New()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://ex.org/a"),
+		rdf.NewLiteral("lit"),
+		rdf.NewTypedLiteral("5", rdf.XSDInteger),
+		rdf.NewLangLiteral("hello", "en"),
+		rdf.NewBlank("b1"),
+	}
+	ids := make([]ID, len(terms))
+	for i, term := range terms {
+		ids[i] = d.Encode(term)
+	}
+	for i, id := range ids {
+		back, ok := d.Term(id)
+		if !ok || back != terms[i] {
+			t.Errorf("Term(%d) = %v,%v, want %v", id, back, ok, terms[i])
+		}
+		if d.MustTerm(id) != terms[i] {
+			t.Errorf("MustTerm(%d) mismatch", id)
+		}
+	}
+	if _, ok := d.Term(None); ok {
+		t.Error("Term(None) should not resolve")
+	}
+	if _, ok := d.Term(ID(len(terms) + 1)); ok {
+		t.Error("Term beyond range should not resolve")
+	}
+}
+
+func TestMustTermPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTerm on unknown ID should panic")
+		}
+	}()
+	New().MustTerm(7)
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	d := New()
+	for i := 0; i < 10; i++ {
+		d.Encode(rdf.NewIRI(fmt.Sprintf("http://ex.org/%d", i)))
+	}
+	var seen []ID
+	d.ForEach(func(id ID, _ rdf.Term) bool {
+		seen = append(seen, id)
+		return len(seen) < 4
+	})
+	if len(seen) != 4 {
+		t.Fatalf("early stop visited %d, want 4", len(seen))
+	}
+	for i, id := range seen {
+		if id != ID(i+1) {
+			t.Errorf("position %d: id %d, want %d (IDs must be dense, in order)", i, id, i+1)
+		}
+	}
+}
+
+func TestEncodeRoundTripProperty(t *testing.T) {
+	d := New()
+	f := func(iri string, lit string, lang uint8) bool {
+		terms := []rdf.Term{
+			rdf.NewIRI(iri),
+			rdf.NewLiteral(lit),
+			rdf.NewLangLiteral(lit, string('a'+rune(lang%26))),
+		}
+		for _, term := range terms {
+			id := d.Encode(term)
+			back, ok := d.Term(id)
+			if !ok || back != term {
+				return false
+			}
+			if again := d.Encode(term); again != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentEncode(t *testing.T) {
+	d := New()
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	ids := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, perG)
+			for i := 0; i < perG; i++ {
+				// All goroutines encode the same term sequence: they must
+				// agree on every ID.
+				ids[g][i] = d.Encode(rdf.NewIRI(fmt.Sprintf("http://ex.org/t%d", i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != perG {
+		t.Fatalf("Len = %d, want %d", d.Len(), perG)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d disagrees on term %d: %d vs %d", g, i, ids[g][i], ids[0][i])
+			}
+		}
+	}
+}

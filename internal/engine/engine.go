@@ -1,0 +1,338 @@
+// Package engine evaluates BGP queries over a triple source: variable
+// binding, greedy selectivity-based join ordering, and index nested-loop
+// joins over the store's pattern indexes. It is deliberately agnostic about
+// where the triples come from — the saturated store, the original store
+// (for reformulated queries) or a virtual backward-chaining view all
+// implement Source — so the paper's three query-answering techniques differ
+// only in the Source and the query they hand to the same evaluator.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Source is anything the engine can match triple patterns against.
+type Source interface {
+	// ForEachMatch enumerates triples matching pat (dict.None = wildcard);
+	// iteration stops early when fn returns false.
+	ForEachMatch(pat store.Triple, fn func(store.Triple) bool)
+	// Count returns the (possibly estimated) number of matches of pat; the
+	// optimizer uses it for join ordering.
+	Count(pat store.Triple) int
+}
+
+// static assertion: the store is a Source.
+var _ Source = (*store.Store)(nil)
+
+// slot is a compiled pattern position: a constant ID or a variable index.
+type slot struct {
+	isVar bool
+	v     int
+	id    dict.ID
+}
+
+type cpattern struct {
+	s, p, o slot
+	// original index in the query, reported in plans.
+	idx int
+}
+
+// Compiled is a BGP compiled against a dictionary: variables numbered, and
+// constant terms resolved to IDs.
+type Compiled struct {
+	vars     []string
+	varIndex map[string]int
+	patterns []cpattern
+	// impossible is set when some constant does not occur in the dictionary:
+	// no triple can match, the result is empty.
+	impossible bool
+}
+
+// Compile prepares the triple patterns for evaluation. Constant terms that
+// are not in the dictionary make the query trivially empty (they cannot
+// occur in any triple), which Compile records rather than treating as an
+// error.
+func Compile(patterns []rdf.Triple, d *dict.Dict) (*Compiled, error) {
+	c := &Compiled{varIndex: map[string]int{}}
+	mk := func(t rdf.Term) (slot, error) {
+		if t.IsVar() {
+			i, ok := c.varIndex[t.Value]
+			if !ok {
+				i = len(c.vars)
+				c.varIndex[t.Value] = i
+				c.vars = append(c.vars, t.Value)
+			}
+			return slot{isVar: true, v: i}, nil
+		}
+		if t.IsZero() {
+			return slot{}, fmt.Errorf("engine: zero term in pattern")
+		}
+		id, ok := d.Lookup(t)
+		if !ok {
+			c.impossible = true
+			return slot{id: dict.None}, nil
+		}
+		return slot{id: id}, nil
+	}
+	for i, p := range patterns {
+		s, err := mk(p.S)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := mk(p.P)
+		if err != nil {
+			return nil, err
+		}
+		o, err := mk(p.O)
+		if err != nil {
+			return nil, err
+		}
+		c.patterns = append(c.patterns, cpattern{s: s, p: pr, o: o, idx: i})
+	}
+	if len(c.patterns) == 0 {
+		return nil, fmt.Errorf("engine: empty BGP")
+	}
+	return c, nil
+}
+
+// Vars returns the variable names in first-occurrence order.
+func (c *Compiled) Vars() []string { return c.vars }
+
+// concrete returns the store pattern for cp under bindings b: constants and
+// bound variables become IDs, unbound variables become wildcards.
+func concrete(cp cpattern, b []dict.ID) store.Triple {
+	get := func(s slot) dict.ID {
+		if !s.isVar {
+			return s.id
+		}
+		return b[s.v]
+	}
+	return store.Triple{S: get(cp.s), P: get(cp.p), O: get(cp.o)}
+}
+
+// bind matches triple t against cp, extending b; it returns false (leaving
+// b partially updated — callers restore from undo) when a repeated variable
+// or constant mismatches.
+func bind(cp cpattern, t store.Triple, b []dict.ID, undo *[]int) bool {
+	try := func(s slot, v dict.ID) bool {
+		if !s.isVar {
+			return s.id == v
+		}
+		if b[s.v] == dict.None {
+			b[s.v] = v
+			*undo = append(*undo, s.v)
+			return true
+		}
+		return b[s.v] == v
+	}
+	return try(cp.s, t.S) && try(cp.p, t.P) && try(cp.o, t.O)
+}
+
+// PlanStep describes one step of a join plan (for -explain output).
+type PlanStep struct {
+	// PatternIndex is the position of the pattern in the original BGP.
+	PatternIndex int
+	// EstimatedCost is the optimizer's cardinality estimate when the step
+	// was chosen.
+	EstimatedCost int
+}
+
+// plan orders patterns greedily: repeatedly pick the cheapest pattern given
+// the variables bound so far. The cost of a pattern is the source count
+// with only constants bound, discounted for every position held by an
+// already-bound variable (it will act as a constant at execution time).
+func (c *Compiled) plan(src Source) []PlanStep {
+	remaining := make([]cpattern, len(c.patterns))
+	copy(remaining, c.patterns)
+	bound := make([]bool, len(c.vars))
+	var steps []PlanStep
+	for len(remaining) > 0 {
+		best, bestCost := 0, -1
+		for i, cp := range remaining {
+			constPat := store.Triple{}
+			if !cp.s.isVar {
+				constPat.S = cp.s.id
+			}
+			if !cp.p.isVar {
+				constPat.P = cp.p.id
+			}
+			if !cp.o.isVar {
+				constPat.O = cp.o.id
+			}
+			cost := src.Count(constPat)
+			for _, s := range []slot{cp.s, cp.p, cp.o} {
+				if s.isVar && bound[s.v] {
+					// A bound variable behaves like a constant; assume it
+					// divides the candidate set substantially.
+					cost /= 4
+				}
+			}
+			cost++
+			if bestCost < 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		chosen := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, s := range []slot{chosen.s, chosen.p, chosen.o} {
+			if s.isVar {
+				bound[s.v] = true
+			}
+		}
+		steps = append(steps, PlanStep{PatternIndex: chosen.idx, EstimatedCost: bestCost})
+	}
+	return steps
+}
+
+// Plan returns the join order the engine would use against src.
+func (c *Compiled) Plan(src Source) []PlanStep { return c.plan(src) }
+
+// Result holds variable bindings produced by evaluation. Rows are aligned
+// with Vars; dict.None marks an unbound position (does not occur for BGPs,
+// where every selected variable is bound by the pattern).
+type Result struct {
+	Vars []string
+	Rows [][]dict.ID
+}
+
+// Eval evaluates the compiled BGP against src, returning one row per match
+// (bag semantics, as SPARQL evaluation defines).
+func (c *Compiled) Eval(src Source) *Result {
+	res := &Result{Vars: c.vars}
+	if c.impossible {
+		return res
+	}
+	order := c.plan(src)
+	ordered := make([]cpattern, len(order))
+	for i, st := range order {
+		for _, cp := range c.patterns {
+			if cp.idx == st.PatternIndex {
+				ordered[i] = cp
+			}
+		}
+	}
+	b := make([]dict.ID, len(c.vars))
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(ordered) {
+			row := make([]dict.ID, len(b))
+			copy(row, b)
+			res.Rows = append(res.Rows, row)
+			return
+		}
+		cp := ordered[depth]
+		pat := concrete(cp, b)
+		src.ForEachMatch(pat, func(t store.Triple) bool {
+			var undo []int
+			if bind(cp, t, b, &undo) {
+				rec(depth + 1)
+			}
+			for _, v := range undo {
+				b[v] = dict.None
+			}
+			return true
+		})
+	}
+	rec(0)
+	return res
+}
+
+// EvalBGP compiles and evaluates patterns in one call.
+func EvalBGP(src Source, patterns []rdf.Triple, d *dict.Dict) (*Result, error) {
+	c, err := Compile(patterns, d)
+	if err != nil {
+		return nil, err
+	}
+	return c.Eval(src), nil
+}
+
+// Project returns a new result restricted to the named variables, in that
+// order. Unknown variables yield dict.None columns (used for reformulation
+// branches that fix a variable to a constant instead of binding it).
+func (r *Result) Project(vars []string) *Result {
+	idx := make([]int, len(vars))
+	for i, v := range vars {
+		idx[i] = -1
+		for j, have := range r.Vars {
+			if have == v {
+				idx[i] = j
+				break
+			}
+		}
+	}
+	out := &Result{Vars: append([]string(nil), vars...)}
+	for _, row := range r.Rows {
+		nr := make([]dict.ID, len(vars))
+		for i, j := range idx {
+			if j >= 0 {
+				nr[i] = row[j]
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// Distinct removes duplicate rows, preserving first-occurrence order.
+func (r *Result) Distinct() *Result {
+	seen := make(map[string]struct{}, len(r.Rows))
+	out := &Result{Vars: r.Vars}
+	var key strings.Builder
+	for _, row := range r.Rows {
+		key.Reset()
+		for _, id := range row {
+			fmt.Fprintf(&key, "%d,", id)
+		}
+		k := key.String()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Limit truncates the result to at most n rows (n <= 0 means no limit).
+func (r *Result) Limit(n int) *Result {
+	if n <= 0 || len(r.Rows) <= n {
+		return r
+	}
+	return &Result{Vars: r.Vars, Rows: r.Rows[:n]}
+}
+
+// Sort orders rows lexicographically by ID; evaluation order is otherwise
+// nondeterministic (map iteration), so tests and reports sort first.
+func (r *Result) Sort() *Result {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return r
+}
+
+// Decode resolves a result to terms through the dictionary.
+func (r *Result) Decode(d *dict.Dict) [][]rdf.Term {
+	out := make([][]rdf.Term, len(r.Rows))
+	for i, row := range r.Rows {
+		terms := make([]rdf.Term, len(row))
+		for j, id := range row {
+			if id != dict.None {
+				terms[j], _ = d.Term(id)
+			}
+		}
+		out[i] = terms
+	}
+	return out
+}

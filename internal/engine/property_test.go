@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dict"
+)
+
+// TestResultOpsProperties checks algebraic invariants of the result
+// operators with testing/quick: Distinct is idempotent, Project preserves
+// row count, Limit never grows, Sort is a permutation.
+func TestResultOpsProperties(t *testing.T) {
+	gen := func(seed int64) *Result {
+		rng := rand.New(rand.NewSource(seed))
+		r := &Result{Vars: []string{"a", "b"}}
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			r.Rows = append(r.Rows, []dict.ID{dict.ID(rng.Intn(4) + 1), dict.ID(rng.Intn(4) + 1)})
+		}
+		return r
+	}
+
+	distinctIdempotent := func(seed int64) bool {
+		r := gen(seed)
+		d1 := r.Distinct()
+		d2 := d1.Distinct()
+		if len(d1.Rows) != len(d2.Rows) {
+			return false
+		}
+		for i := range d1.Rows {
+			for j := range d1.Rows[i] {
+				if d1.Rows[i][j] != d2.Rows[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(distinctIdempotent, nil); err != nil {
+		t.Errorf("Distinct not idempotent: %v", err)
+	}
+
+	projectPreservesRows := func(seed int64) bool {
+		r := gen(seed)
+		p := r.Project([]string{"b"})
+		return len(p.Rows) == len(r.Rows) && len(p.Vars) == 1
+	}
+	if err := quick.Check(projectPreservesRows, nil); err != nil {
+		t.Errorf("Project changed row count: %v", err)
+	}
+
+	limitNeverGrows := func(seed int64, n uint8) bool {
+		r := gen(seed)
+		l := r.Limit(int(n))
+		if int(n) == 0 {
+			return len(l.Rows) == len(r.Rows)
+		}
+		return len(l.Rows) <= int(n) && len(l.Rows) <= len(r.Rows)
+	}
+	if err := quick.Check(limitNeverGrows, nil); err != nil {
+		t.Errorf("Limit misbehaves: %v", err)
+	}
+
+	sortIsPermutation := func(seed int64) bool {
+		r := gen(seed)
+		count := map[[2]dict.ID]int{}
+		for _, row := range r.Rows {
+			count[[2]dict.ID{row[0], row[1]}]++
+		}
+		s := r.Sort()
+		for _, row := range s.Rows {
+			count[[2]dict.ID{row[0], row[1]}]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		// And sorted.
+		for i := 1; i < len(s.Rows); i++ {
+			a, b := s.Rows[i-1], s.Rows[i]
+			if a[0] > b[0] || (a[0] == b[0] && a[1] > b[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(sortIsPermutation, nil); err != nil {
+		t.Errorf("Sort not a sorted permutation: %v", err)
+	}
+
+	distinctSubsetOfInput := func(seed int64) bool {
+		r := gen(seed)
+		d := r.Distinct()
+		if len(d.Rows) > len(r.Rows) {
+			return false
+		}
+		seen := map[[2]dict.ID]bool{}
+		for _, row := range r.Rows {
+			seen[[2]dict.ID{row[0], row[1]}] = true
+		}
+		for _, row := range d.Rows {
+			if !seen[[2]dict.ID{row[0], row[1]}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(distinctSubsetOfInput, nil); err != nil {
+		t.Errorf("Distinct invented rows: %v", err)
+	}
+}

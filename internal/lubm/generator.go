@@ -1,0 +1,246 @@
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Config parameterises the generator. The zero value is not usable; call
+// DefaultConfig.
+type Config struct {
+	// Universities scales the dataset (the LUBM scale factor).
+	Universities int
+	// Seed makes generation deterministic.
+	Seed int64
+	// DeptsPerUniv is the number of departments per university.
+	DeptsPerUniv int
+	// FacultyPerDept controls professors+lecturers per department.
+	FacultyPerDept int
+	// StudentsPerFaculty is the undergraduate-per-faculty ratio (LUBM uses
+	// 8–14; the default here is smaller to keep laptop runs quick).
+	StudentsPerFaculty int
+}
+
+// DefaultConfig returns the scale-1 configuration used by tests and
+// examples (≈20k triples per university).
+func DefaultConfig() Config {
+	return Config{
+		Universities:       1,
+		Seed:               1,
+		DeptsPerUniv:       15,
+		FacultyPerDept:     24,
+		StudentsPerFaculty: 4,
+	}
+}
+
+// SmallConfig returns a miniature dataset (≈1500 triples) for unit tests.
+func SmallConfig() Config {
+	return Config{
+		Universities:       1,
+		Seed:               1,
+		DeptsPerUniv:       2,
+		FacultyPerDept:     10,
+		StudentsPerFaculty: 3,
+	}
+}
+
+// Generate produces the instance triples (no schema; combine with
+// Ontology() to obtain the full graph). Entities are typed with their most
+// specific class only — like LUBM — so that superclass membership is
+// implicit and reasoning is required for correct answers.
+func Generate(cfg Config) *rdf.Graph {
+	if cfg.Universities <= 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := rdf.NewGraph()
+	add := func(s, p, o rdf.Term) { g.Add(rdf.T(s, p, o)) }
+	typeOf := func(s rdf.Term, class string) { add(s, rdf.Type, Class(class)) }
+	lit := func(s rdf.Term, prop, value string) { add(s, Prop(prop), rdf.NewLiteral(value)) }
+
+	for u := 0; u < cfg.Universities; u++ {
+		univ := uni(u)
+		typeOf(univ, "University")
+		lit(univ, "name", fmt.Sprintf("University%d", u))
+
+		for d := 0; d < cfg.DeptsPerUniv; d++ {
+			dpt := dept(u, d)
+			typeOf(dpt, "Department")
+			add(dpt, Prop("subOrganizationOf"), univ)
+			lit(dpt, "name", fmt.Sprintf("Department%d", d))
+
+			// Research groups.
+			for gIdx := 0; gIdx < 3+rng.Intn(4); gIdx++ {
+				grp := group(u, d, gIdx)
+				typeOf(grp, "ResearchGroup")
+				add(grp, Prop("subOrganizationOf"), dpt)
+			}
+
+			// Faculty: split across the professor ranks and lecturers.
+			ranks := []struct {
+				role  string
+				class string
+				count int
+			}{
+				{"fullProf", "FullProfessor", cfg.FacultyPerDept / 4},
+				{"assocProf", "AssociateProfessor", cfg.FacultyPerDept / 3},
+				{"assistProf", "AssistantProfessor", cfg.FacultyPerDept / 4},
+				{"lecturer", "Lecturer", cfg.FacultyPerDept - cfg.FacultyPerDept/4 - cfg.FacultyPerDept/3 - cfg.FacultyPerDept/4},
+			}
+			var professors []rdf.Term // all professor-rank members, for advisor edges
+			var faculty []rdf.Term
+			courseCount := 0
+			newCourse := func(grad bool) rdf.Term {
+				c := course(u, d, courseCount, grad)
+				courseCount++
+				if grad {
+					typeOf(c, "GraduateCourse")
+				} else {
+					typeOf(c, "Course")
+				}
+				return c
+			}
+			for _, rank := range ranks {
+				for i := 0; i < rank.count; i++ {
+					f := member(u, d, rank.role, i)
+					typeOf(f, rank.class)
+					faculty = append(faculty, f)
+					if rank.role != "lecturer" {
+						professors = append(professors, f)
+					}
+					add(f, Prop("worksFor"), dpt)
+					lit(f, "name", fmt.Sprintf("%s%d_%d_%d", rank.role, u, d, i))
+					lit(f, "emailAddress", fmt.Sprintf("%s%d@dept%d.univ%d.edu", rank.role, i, d, u))
+					add(f, Prop("doctoralDegreeFrom"), uni(rng.Intn(cfg.Universities)))
+					// Courses taught: 1–2 each; professors may teach grad
+					// courses.
+					nCourses := 1 + rng.Intn(2)
+					for c := 0; c < nCourses; c++ {
+						add(f, Prop("teacherOf"), newCourse(rank.role != "lecturer" && rng.Intn(3) == 0))
+					}
+					// Publications.
+					for pIdx := 0; pIdx < 1+rng.Intn(3); pIdx++ {
+						pub := publication(u, d, rank.role, i, pIdx)
+						if rng.Intn(4) == 0 {
+							typeOf(pub, "TechnicalReport")
+						} else {
+							typeOf(pub, "Article")
+						}
+						add(pub, Prop("publicationAuthor"), f)
+					}
+				}
+			}
+			// The department head: the first full professor, asserted only
+			// through headOf — their Chair type stays implicit (domain
+			// reasoning, LUBM query 4/12 style).
+			if len(professors) > 0 {
+				add(professors[0], Prop("headOf"), dpt)
+			}
+
+			// Students.
+			nUG := cfg.FacultyPerDept * cfg.StudentsPerFaculty
+			nGrad := nUG / 3
+			for i := 0; i < nUG; i++ {
+				s := member(u, d, "undergrad", i)
+				typeOf(s, "UndergraduateStudent")
+				add(s, Prop("memberOf"), dpt)
+				lit(s, "name", fmt.Sprintf("undergrad%d_%d_%d", u, d, i))
+				for c := 0; c < 2+rng.Intn(3); c++ {
+					add(s, Prop("takesCourse"), course(u, d, rng.Intn(courseCount), false))
+				}
+				if rng.Intn(5) == 0 {
+					add(s, Prop("advisor"), professors[rng.Intn(len(professors))])
+				}
+			}
+			for i := 0; i < nGrad; i++ {
+				s := member(u, d, "grad", i)
+				typeOf(s, "GraduateStudent")
+				add(s, Prop("memberOf"), dpt)
+				lit(s, "name", fmt.Sprintf("grad%d_%d_%d", u, d, i))
+				lit(s, "emailAddress", fmt.Sprintf("grad%d@dept%d.univ%d.edu", i, d, u))
+				add(s, Prop("undergraduateDegreeFrom"), uni(rng.Intn(cfg.Universities)))
+				for c := 0; c < 1+rng.Intn(3); c++ {
+					add(s, Prop("takesCourse"), course(u, d, rng.Intn(courseCount), false))
+				}
+				add(s, Prop("advisor"), professors[rng.Intn(len(professors))])
+				// Some grads TA/co-author: publication with them as author.
+				if rng.Intn(4) == 0 {
+					pub := publication(u, d, "grad", i, 0)
+					typeOf(pub, "Article")
+					add(pub, Prop("publicationAuthor"), s)
+				}
+			}
+			_ = faculty
+		}
+	}
+	return g
+}
+
+// GenerateWithOntology returns instance data plus the schema in one graph.
+func GenerateWithOntology(cfg Config) *rdf.Graph {
+	g := Generate(cfg)
+	g.AddAll(Ontology())
+	return g
+}
+
+// InstanceUpdates returns a deterministic set of fresh instance triples
+// that can be inserted into (then deleted from) a generated graph — the
+// update workload of experiments E3 and E7. The triples reference existing
+// entities (dept 0 of university 0) but introduce new subjects, so
+// insertion exercises the full maintenance path.
+func InstanceUpdates(n int) []rdf.Triple {
+	out := make([]rdf.Triple, 0, n)
+	for i := 0; len(out) < n; i++ {
+		s := Entity(fmt.Sprintf("updates/student%d", i))
+		out = append(out, rdf.T(s, rdf.Type, Class("GraduateStudent")))
+		if len(out) < n {
+			out = append(out, rdf.T(s, Prop("memberOf"), dept(0, 0)))
+		}
+		if len(out) < n {
+			out = append(out, rdf.T(s, Prop("takesCourse"), course(0, 0, 0, false)))
+		}
+	}
+	return out
+}
+
+// SchemaUpdates returns schema triples to insert/delete as the schema-
+// update workload: a new leaf class, a new subproperty, and a new domain
+// constraint — each touches a different maintenance path.
+func SchemaUpdates() []rdf.Triple {
+	return []rdf.Triple{
+		rdf.T(Class("VisitingProfessor"), rdf.SubClassOf, Class("Professor")),
+		rdf.T(Prop("coAdvises"), rdf.SubPropertyOf, Prop("advisor")),
+		rdf.T(Prop("takesCourse"), rdf.Domain, Class("Person")),
+	}
+}
+
+// ExistingInstanceTriples returns n instance triples guaranteed to be in a
+// graph generated with cfg (used as the deletion workload). They are drawn
+// deterministically from department 0 of university 0.
+func ExistingInstanceTriples(cfg Config, n int) []rdf.Triple {
+	g := Generate(cfg)
+	var out []rdf.Triple
+	for _, t := range g.InstanceTriples() {
+		if t.P == rdf.Type || t.O.IsLiteral() {
+			continue
+		}
+		out = append(out, t)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// ExistingSchemaTriples returns schema triples present in Ontology(),
+// ordered from leaf-level (cheap to delete) to root-level (expensive).
+func ExistingSchemaTriples() []rdf.Triple {
+	return []rdf.Triple{
+		rdf.T(Class("TechnicalReport"), rdf.SubClassOf, Class("Publication")),
+		rdf.T(Prop("doctoralDegreeFrom"), rdf.SubPropertyOf, Prop("degreeFrom")),
+		rdf.T(Prop("worksFor"), rdf.SubPropertyOf, Prop("memberOf")),
+		rdf.T(Class("Student"), rdf.SubClassOf, Class("Person")),
+	}
+}

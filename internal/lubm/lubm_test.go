@@ -1,0 +1,288 @@
+package lubm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/reformulate"
+	"repro/internal/sparql"
+)
+
+func TestOntologyShape(t *testing.T) {
+	ont := Ontology()
+	schema := ont.SchemaTriples()
+	if len(schema) != ont.Len() {
+		t.Error("ontology must contain only schema triples")
+	}
+	// Hand-counted totals: 20 subclass edges, 5 subproperty edges,
+	// 12 domains, 12 ranges.
+	counts := map[rdf.Term]int{}
+	for _, tr := range schema {
+		counts[tr.P]++
+	}
+	if counts[rdf.SubClassOf] != 20 {
+		t.Errorf("subclass edges = %d, want 20", counts[rdf.SubClassOf])
+	}
+	if counts[rdf.SubPropertyOf] != 5 {
+		t.Errorf("subproperty edges = %d, want 5", counts[rdf.SubPropertyOf])
+	}
+	if counts[rdf.Domain] != 12 {
+		t.Errorf("domains = %d, want 12", counts[rdf.Domain])
+	}
+	if counts[rdf.Range] != 12 {
+		t.Errorf("ranges = %d, want 12", counts[rdf.Range])
+	}
+	// Key modelling choices.
+	if !ont.Has(rdf.T(Prop("headOf"), rdf.Domain, Class("Chair"))) {
+		t.Error("headOf must have domain Chair (drives Q12's domain reasoning)")
+	}
+	if !ont.Has(rdf.T(Prop("worksFor"), rdf.SubPropertyOf, Prop("memberOf"))) {
+		t.Error("worksFor ⊑ memberOf missing (drives Q5's subproperty reasoning)")
+	}
+	// Literal-valued properties must have no range (rdfs3 would produce
+	// ill-formed triples).
+	for _, p := range []string{"name", "emailAddress", "telephone", "researchInterest"} {
+		for _, tr := range schema {
+			if tr.S == Prop(p) && tr.P == rdf.Range {
+				t.Errorf("literal property %s must not declare a range", p)
+			}
+		}
+	}
+}
+
+func TestClassAndPropertyInventory(t *testing.T) {
+	classes := ClassNames()
+	if len(classes) != 24 {
+		t.Errorf("ClassNames has %d entries, want 24: %v", len(classes), classes)
+	}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		if c == "Organization_TOP" {
+			t.Error("sentinel leaked into ClassNames")
+		}
+		if seen[c] {
+			t.Errorf("duplicate class %s", c)
+		}
+		seen[c] = true
+	}
+	props := PropertyNames()
+	if len(props) != 16 {
+		t.Errorf("PropertyNames has %d entries, want 16: %v", len(props), props)
+	}
+	// Every ontology constraint subject/object must come from the inventory.
+	valid := map[rdf.Term]bool{}
+	for _, c := range classes {
+		valid[Class(c)] = true
+	}
+	for _, p := range props {
+		valid[Prop(p)] = true
+	}
+	for _, tr := range Ontology().SchemaTriples() {
+		if !valid[tr.S] || !valid[tr.O] {
+			t.Errorf("constraint %v uses a term outside the declared inventory", tr)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := Generate(SmallConfig())
+	b := Generate(SmallConfig())
+	if !a.Equal(b) {
+		t.Error("same seed must generate identical graphs")
+	}
+	cfg := SmallConfig()
+	cfg.Seed = 99
+	c := Generate(cfg)
+	if a.Equal(c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGeneratorWellFormed(t *testing.T) {
+	g := Generate(SmallConfig())
+	g.ForEach(func(tr rdf.Triple) bool {
+		if err := tr.WellFormed(); err != nil {
+			t.Errorf("generated ill-formed triple: %v", err)
+			return false
+		}
+		return true
+	})
+	if g.Len() < 500 {
+		t.Errorf("small config produced only %d triples", g.Len())
+	}
+	// Instance data must contain no schema triples.
+	if n := len(g.SchemaTriples()); n != 0 {
+		t.Errorf("instance generator emitted %d schema triples", n)
+	}
+}
+
+func TestGeneratorMostSpecificTypesOnly(t *testing.T) {
+	g := Generate(SmallConfig())
+	// No entity may be explicitly typed Person, Student, Employee, Faculty,
+	// Professor, Organization, Publication, Course... wait: Course is used
+	// for non-graduate courses (it is a most-specific class there). The
+	// strictly-abstract classes:
+	for _, abstract := range []string{"Person", "Student", "Employee", "Faculty", "Professor", "Organization", "Publication", "Work", "Chair"} {
+		found := false
+		g.ForEach(func(tr rdf.Triple) bool {
+			if tr.P == rdf.Type && tr.O == Class(abstract) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			t.Errorf("abstract class %s asserted explicitly: reasoning would be unnecessary", abstract)
+		}
+	}
+}
+
+func TestGeneratedEntitiesReferencedByQueriesExist(t *testing.T) {
+	g := Generate(SmallConfig())
+	for _, e := range []rdf.Term{
+		Entity("univ0"),
+		Entity("univ0/dept0"),
+		Entity("univ0/dept0/fullProf0"),
+		Entity("univ0/dept0/course0"),
+	} {
+		found := false
+		g.ForEach(func(tr rdf.Triple) bool {
+			if tr.S == e || tr.O == e {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Errorf("workload anchor entity %s missing from generated data", e)
+		}
+	}
+}
+
+func TestQueriesParseAndCover(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 14 {
+		t.Fatalf("workload has %d queries, want 14", len(qs))
+	}
+	features := map[string]bool{}
+	for _, q := range qs {
+		parsed, err := sparql.Parse(q.Text)
+		if err != nil {
+			t.Errorf("%s does not parse: %v", q.Name, err)
+			continue
+		}
+		if len(parsed.Patterns) == 0 {
+			t.Errorf("%s has empty BGP", q.Name)
+		}
+		features[q.Reasoning] = true
+	}
+	for _, want := range []string{"none", "subclass", "domain/range"} {
+		found := false
+		for f := range features {
+			if strings.Contains(f, want) || f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("workload lacks a query with reasoning %q", want)
+		}
+	}
+	if QueryByName("Q6").Name != "Q6" {
+		t.Error("QueryByName broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("QueryByName of unknown query should panic")
+		}
+	}()
+	QueryByName("Q99")
+}
+
+// TestWorkloadAnswersNonEmptyAndNeedReasoning loads the small dataset and
+// checks (a) every query has answers, (b) the reasoning-dependent queries
+// return strictly more answers with reasoning than without — i.e. the
+// workload actually exercises entailment.
+func TestWorkloadAnswersNonEmptyAndNeedReasoning(t *testing.T) {
+	kb := core.NewKB()
+	if _, err := kb.LoadGraph(GenerateWithOntology(SmallConfig())); err != nil {
+		t.Fatal(err)
+	}
+	sat := core.NewSaturation(kb)
+	ref := core.NewReformulation(kb, reformulate.Options{})
+
+	for _, wq := range Queries() {
+		q := wq.Parse()
+		res, err := sat.Answer(q)
+		if err != nil {
+			t.Fatalf("%s: %v", wq.Name, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("%s returns no answers on the small dataset", wq.Name)
+		}
+		refRes, err := ref.Answer(q)
+		if err != nil {
+			t.Fatalf("%s (reformulation): %v", wq.Name, err)
+		}
+		if len(refRes.Rows) != len(res.Rows) {
+			t.Errorf("%s: strategies disagree (%d vs %d answers)", wq.Name, len(res.Rows), len(refRes.Rows))
+		}
+		// Reasoning-dependent queries must lose answers when evaluated
+		// non-semantically (plain evaluation over G).
+		if wq.Reasoning != "none" {
+			plain, err := plainEval(kb, q)
+			if err != nil {
+				t.Fatalf("%s plain: %v", wq.Name, err)
+			}
+			if plain >= len(res.Rows) {
+				t.Errorf("%s claims reasoning %q but plain evaluation already finds %d of %d answers",
+					wq.Name, wq.Reasoning, plain, len(res.Rows))
+			}
+		}
+	}
+}
+
+// plainEval evaluates q over the asserted graph only (what the paper calls
+// the incomplete answer set of query evaluation).
+func plainEval(kb *core.KB, q *sparql.Query) (int, error) {
+	res, err := core.PlainAnswer(kb, q)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}
+
+func TestUpdateWorkloads(t *testing.T) {
+	ups := InstanceUpdates(7)
+	if len(ups) != 7 {
+		t.Fatalf("InstanceUpdates(7) returned %d", len(ups))
+	}
+	for _, tr := range ups {
+		if err := tr.WellFormed(); err != nil {
+			t.Errorf("update triple ill-formed: %v", err)
+		}
+		if tr.IsSchema() {
+			t.Errorf("instance update %v is a schema triple", tr)
+		}
+	}
+	for _, tr := range SchemaUpdates() {
+		if !tr.IsSchema() {
+			t.Errorf("schema update %v is not a schema triple", tr)
+		}
+	}
+	// Deletion workloads must reference triples that actually exist.
+	cfg := SmallConfig()
+	g := Generate(cfg)
+	for _, tr := range ExistingInstanceTriples(cfg, 5) {
+		if !g.Has(tr) {
+			t.Errorf("ExistingInstanceTriples returned absent triple %v", tr)
+		}
+	}
+	ont := Ontology()
+	for _, tr := range ExistingSchemaTriples() {
+		if !ont.Has(tr) {
+			t.Errorf("ExistingSchemaTriples returned absent triple %v", tr)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package lubm provides the evaluation workload: a university ontology and
+// data generator modelled on LUBM (the benchmark family used by the EDBT'13
+// study Figure 3 is borrowed from), restricted to the RDFS constraints of
+// the DB fragment, plus a 14-query workload echoing LUBM's mix of
+// reasoning-free, subclass-, subproperty- and domain/range-dependent
+// queries.
+//
+// The paper's original experiments ran on LUBM graphs of ~10⁷ triples on a
+// server; the generator reproduces the *structure* (hierarchy depth,
+// fan-out, most-specific-type assertions that make reasoning necessary) at
+// laptop scale, which preserves the cost ratios the thresholds of Figure 3
+// are made of. This is the substitution documented in DESIGN.md.
+package lubm
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// NS is the ontology namespace and DataNS the instance namespace.
+const (
+	NS     = "http://lubm.example.org/onto#"
+	DataNS = "http://lubm.example.org/data/"
+)
+
+// Class returns the IRI term of an ontology class.
+func Class(name string) rdf.Term { return rdf.NewIRI(NS + name) }
+
+// Prop returns the IRI term of an ontology property.
+func Prop(name string) rdf.Term { return rdf.NewIRI(NS + name) }
+
+// Entity returns an instance IRI under the data namespace.
+func Entity(path string) rdf.Term { return rdf.NewIRI(DataNS + path) }
+
+// subclassEdges lists the class hierarchy (child, parent).
+var subclassEdges = [][2]string{
+	{"Employee", "Person"},
+	{"Faculty", "Employee"},
+	{"Professor", "Faculty"},
+	{"FullProfessor", "Professor"},
+	{"AssociateProfessor", "Professor"},
+	{"AssistantProfessor", "Professor"},
+	{"Chair", "Professor"},
+	{"Lecturer", "Faculty"},
+	{"AdministrativeStaff", "Employee"},
+	{"Student", "Person"},
+	{"UndergraduateStudent", "Student"},
+	{"GraduateStudent", "Student"},
+	{"Organization", "Organization_TOP"}, // sentinel removed below
+	{"University", "Organization"},
+	{"Department", "Organization"},
+	{"ResearchGroup", "Organization"},
+	{"Course", "Work"},
+	{"GraduateCourse", "Course"},
+	{"Research", "Work"},
+	{"Article", "Publication"},
+	{"TechnicalReport", "Publication"},
+}
+
+// propertyDef describes one ontology property: optional superproperty,
+// optional domain and range classes ("" = none). Literal-valued properties
+// (name, emailAddress, …) carry no range constraint: the DB fragment's
+// range rule (rdfs3) types the *object* of a triple, and literals cannot be
+// typed subjects in well-formed RDF.
+type propertyDef struct {
+	name          string
+	superProperty string
+	domain        string
+	rng           string
+}
+
+var propertyDefs = []propertyDef{
+	{name: "memberOf", domain: "Person", rng: "Organization"},
+	{name: "worksFor", superProperty: "memberOf", domain: "Employee", rng: "Organization"},
+	{name: "headOf", superProperty: "worksFor", domain: "Chair", rng: "Department"},
+	{name: "degreeFrom", domain: "Person", rng: "University"},
+	{name: "undergraduateDegreeFrom", superProperty: "degreeFrom", domain: "Person", rng: "University"},
+	{name: "mastersDegreeFrom", superProperty: "degreeFrom", domain: "Person", rng: "University"},
+	{name: "doctoralDegreeFrom", superProperty: "degreeFrom", domain: "Faculty", rng: "University"},
+	{name: "teacherOf", domain: "Faculty", rng: "Course"},
+	{name: "takesCourse", domain: "Student", rng: "Course"},
+	{name: "advisor", domain: "Student", rng: "Professor"},
+	{name: "publicationAuthor", domain: "Publication", rng: "Person"},
+	{name: "subOrganizationOf", domain: "Organization", rng: "Organization"},
+	{name: "name"},
+	{name: "emailAddress"},
+	{name: "telephone"},
+	{name: "researchInterest"},
+}
+
+// Ontology returns the schema graph: the RDFS constraints of the university
+// domain (49 triples: 20 subclass, 5 subproperty, 12 domains, 12 ranges).
+func Ontology() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, e := range subclassEdges {
+		if e[1] == "Organization_TOP" {
+			continue // Organization is a root
+		}
+		g.Add(rdf.T(Class(e[0]), rdf.SubClassOf, Class(e[1])))
+	}
+	for _, p := range propertyDefs {
+		if p.superProperty != "" {
+			g.Add(rdf.T(Prop(p.name), rdf.SubPropertyOf, Prop(p.superProperty)))
+		}
+		if p.domain != "" {
+			g.Add(rdf.T(Prop(p.name), rdf.Domain, Class(p.domain)))
+		}
+		if p.rng != "" {
+			g.Add(rdf.T(Prop(p.name), rdf.Range, Class(p.rng)))
+		}
+	}
+	return g
+}
+
+// ClassNames returns the names of all classes in the ontology.
+func ClassNames() []string {
+	seen := map[string]struct{}{}
+	var out []string
+	add := func(n string) {
+		if n == "Organization_TOP" {
+			return
+		}
+		if _, dup := seen[n]; !dup {
+			seen[n] = struct{}{}
+			out = append(out, n)
+		}
+	}
+	for _, e := range subclassEdges {
+		add(e[0])
+		add(e[1])
+	}
+	return out
+}
+
+// PropertyNames returns the names of all properties in the ontology.
+func PropertyNames() []string {
+	out := make([]string, 0, len(propertyDefs))
+	for _, p := range propertyDefs {
+		out = append(out, p.name)
+	}
+	return out
+}
+
+// uni, dept, person etc. build the deterministic instance IRIs the
+// generator and the query workload share.
+func uni(u int) rdf.Term { return Entity(fmt.Sprintf("univ%d", u)) }
+func dept(u, d int) rdf.Term {
+	return Entity(fmt.Sprintf("univ%d/dept%d", u, d))
+}
+func member(u, d int, role string, i int) rdf.Term {
+	return Entity(fmt.Sprintf("univ%d/dept%d/%s%d", u, d, role, i))
+}
+func course(u, d, i int, grad bool) rdf.Term {
+	kind := "course"
+	if grad {
+		kind = "gradCourse"
+	}
+	return Entity(fmt.Sprintf("univ%d/dept%d/%s%d", u, d, kind, i))
+}
+func publication(u, d int, role string, owner, i int) rdf.Term {
+	return Entity(fmt.Sprintf("univ%d/dept%d/%s%d/pub%d", u, d, role, owner, i))
+}
+func group(u, d, i int) rdf.Term {
+	return Entity(fmt.Sprintf("univ%d/dept%d/group%d", u, d, i))
+}

@@ -1,0 +1,80 @@
+package lubm
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// Query is one workload query with the reasoning features it exercises.
+type Query struct {
+	// Name is the workload identifier (Q1…Q14).
+	Name string
+	// Text is the SPARQL source.
+	Text string
+	// Reasoning describes which entailment features the query needs:
+	// "none", "subclass", "subproperty", "domain/range" or combinations.
+	Reasoning string
+}
+
+// Parse returns the parsed form of the query.
+func (q Query) Parse() *sparql.Query { return sparql.MustParse(q.Text) }
+
+const queryPrefixes = "PREFIX lubm: <" + NS + ">\n"
+
+// ent renders a data-entity IRI for use in query text (entity paths contain
+// '/', which prefixed names cannot carry, so full IRIs are used).
+func ent(path string) string { return "<" + DataNS + path + ">" }
+
+// Queries returns the 14-query workload. Queries reference university 0 /
+// department 0 entities, which every generated dataset contains. The mix
+// follows LUBM's spirit: some queries need no reasoning, some only class
+// hierarchies, some property hierarchies, and some domain/range inference —
+// exactly the spread that makes Figure 3's thresholds vary by orders of
+// magnitude.
+func Queries() []Query {
+	q := func(name, reasoning, body string) Query {
+		return Query{Name: name, Reasoning: reasoning, Text: queryPrefixes + body}
+	}
+	return []Query{
+		q("Q1", "none",
+			`SELECT ?x WHERE { ?x a lubm:GraduateStudent . ?x lubm:takesCourse `+ent("univ0/dept0/course0")+` }`),
+		q("Q2", "subclass+subproperty",
+			`SELECT ?s ?d WHERE { ?s a lubm:Student . ?s lubm:memberOf ?d . ?d lubm:subOrganizationOf `+ent("univ0")+` }`),
+		q("Q3", "subclass",
+			`SELECT ?p WHERE { ?p a lubm:Publication . ?p lubm:publicationAuthor `+ent("univ0/dept0/fullProf0")+` }`),
+		q("Q4", "subclass+subproperty",
+			`SELECT ?x ?n WHERE { ?x a lubm:Professor . ?x lubm:worksFor `+ent("univ0/dept0")+` . ?x lubm:name ?n }`),
+		q("Q5", "subclass+subproperty+domain/range",
+			`SELECT ?x WHERE { ?x a lubm:Person . ?x lubm:memberOf `+ent("univ0/dept0")+` }`),
+		q("Q6", "subclass",
+			`SELECT ?x WHERE { ?x a lubm:Student }`),
+		q("Q7", "subclass",
+			`SELECT ?x ?c WHERE { `+ent("univ0/dept0/fullProf0")+` lubm:teacherOf ?c . ?x lubm:takesCourse ?c . ?x a lubm:Student }`),
+		q("Q8", "subclass+subproperty",
+			`SELECT ?x ?d WHERE { ?x a lubm:Student . ?x lubm:memberOf ?d . ?d lubm:subOrganizationOf `+ent("univ0")+` . ?x lubm:emailAddress ?e }`),
+		q("Q9", "subclass",
+			`SELECT ?x ?y ?c WHERE { ?x a lubm:Student . ?y a lubm:Faculty . ?x lubm:advisor ?y . ?y lubm:teacherOf ?c . ?x lubm:takesCourse ?c }`),
+		q("Q10", "subclass",
+			`SELECT ?x WHERE { ?x a lubm:Student . ?x lubm:takesCourse `+ent("univ0/dept0/course0")+` }`),
+		q("Q11", "none",
+			`SELECT ?g WHERE { ?g a lubm:ResearchGroup . ?g lubm:subOrganizationOf ?d . ?d lubm:subOrganizationOf `+ent("univ0")+` }`),
+		q("Q12", "domain/range",
+			`SELECT ?x WHERE { ?x a lubm:Chair . ?x lubm:worksFor `+ent("univ0/dept0")+` }`),
+		q("Q13", "subproperty+domain/range",
+			`SELECT ?x WHERE { ?x a lubm:Person . ?x lubm:degreeFrom `+ent("univ0")+` }`),
+		q("Q14", "none",
+			`SELECT ?x WHERE { ?x a lubm:UndergraduateStudent }`),
+	}
+}
+
+// QueryByName finds a workload query; it panics on unknown names (the
+// workload is static, a miss is a programming error).
+func QueryByName(name string) Query {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q
+		}
+	}
+	panic(fmt.Sprintf("lubm: no query named %q", name))
+}

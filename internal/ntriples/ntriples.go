@@ -1,0 +1,307 @@
+// Package ntriples reads and writes the N-Triples line-based RDF syntax,
+// the exchange format used by the example applications and the benchmark
+// harness to persist graphs.
+package ntriples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
+}
+
+// Read parses an N-Triples document into a graph. Comment lines (#) and
+// blank lines are skipped. Each triple must be terminated by a dot.
+func Read(r io.Reader) (*rdf.Graph, error) {
+	g := rdf.NewGraph()
+	err := ReadTriples(r, func(t rdf.Triple) error {
+		g.Add(t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadTriples parses an N-Triples document, invoking fn for each triple in
+// document order. Parsing stops at the first error, including any error
+// returned by fn.
+func ReadTriples(r io.Reader, fn func(rdf.Triple) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseLine(line, lineNo)
+		if err != nil {
+			return err
+		}
+		if err := t.WellFormed(); err != nil {
+			return &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (p *lineParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) skipWS() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) eof() bool { return p.pos >= len(p.s) }
+
+func parseLine(line string, lineNo int) (rdf.Triple, error) {
+	p := &lineParser{s: line, line: lineNo}
+	s, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	p.skipWS()
+	if p.eof() || p.s[p.pos] != '.' {
+		return rdf.Triple{}, p.errf("expected terminating '.'")
+	}
+	p.pos++
+	p.skipWS()
+	if !p.eof() && !strings.HasPrefix(p.s[p.pos:], "#") {
+		return rdf.Triple{}, p.errf("unexpected trailing content %q", p.s[p.pos:])
+	}
+	return rdf.T(s, pr, o), nil
+}
+
+func (p *lineParser) term() (rdf.Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return rdf.Term{}, p.errf("unexpected end of line, expected term")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return rdf.Term{}, p.errf("unexpected character %q, expected term", p.s[p.pos])
+	}
+}
+
+func (p *lineParser) iri() (rdf.Term, error) {
+	end := strings.IndexByte(p.s[p.pos:], '>')
+	if end < 0 {
+		return rdf.Term{}, p.errf("unterminated IRI")
+	}
+	iri := p.s[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	if iri == "" {
+		return rdf.Term{}, p.errf("empty IRI")
+	}
+	return rdf.NewIRI(unescape(iri)), nil
+}
+
+func (p *lineParser) blank() (rdf.Term, error) {
+	if !strings.HasPrefix(p.s[p.pos:], "_:") {
+		return rdf.Term{}, p.errf("malformed blank node")
+	}
+	start := p.pos + 2
+	end := start
+	for end < len(p.s) && !isTermDelim(p.s[end]) {
+		end++
+	}
+	if end == start {
+		return rdf.Term{}, p.errf("empty blank node label")
+	}
+	label := p.s[start:end]
+	p.pos = end
+	return rdf.NewBlank(label), nil
+}
+
+func isTermDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '.' || c == '<' || c == '"'
+}
+
+func (p *lineParser) literal() (rdf.Term, error) {
+	// p.s[p.pos] == '"'
+	i := p.pos + 1
+	var b strings.Builder
+	for {
+		if i >= len(p.s) {
+			return rdf.Term{}, p.errf("unterminated literal")
+		}
+		c := p.s[i]
+		if c == '"' {
+			i++
+			break
+		}
+		if c == '\\' {
+			if i+1 >= len(p.s) {
+				return rdf.Term{}, p.errf("dangling escape")
+			}
+			esc, n, err := decodeEscape(p.s[i:])
+			if err != nil {
+				return rdf.Term{}, p.errf("%v", err)
+			}
+			b.WriteString(esc)
+			i += n
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	lex := b.String()
+	p.pos = i
+	// Optional @lang or ^^<datatype>.
+	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+		start := p.pos + 1
+		end := start
+		for end < len(p.s) && (isAlnum(p.s[end]) || p.s[end] == '-') {
+			end++
+		}
+		if end == start {
+			return rdf.Term{}, p.errf("empty language tag")
+		}
+		lang := p.s[start:end]
+		p.pos = end
+		return rdf.NewLangLiteral(lex, lang), nil
+	}
+	if strings.HasPrefix(p.s[p.pos:], "^^") {
+		p.pos += 2
+		if p.eof() || p.s[p.pos] != '<' {
+			return rdf.Term{}, p.errf("expected datatype IRI after ^^")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewTypedLiteral(lex, dt.Value), nil
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// decodeEscape decodes one backslash escape at the start of s, returning the
+// decoded text and the number of input bytes consumed.
+func decodeEscape(s string) (string, int, error) {
+	// s[0] == '\\'
+	switch s[1] {
+	case 't':
+		return "\t", 2, nil
+	case 'n':
+		return "\n", 2, nil
+	case 'r':
+		return "\r", 2, nil
+	case '"':
+		return `"`, 2, nil
+	case '\\':
+		return `\`, 2, nil
+	case 'u', 'U':
+		digits := 4
+		if s[1] == 'U' {
+			digits = 8
+		}
+		if len(s) < 2+digits {
+			return "", 0, fmt.Errorf("truncated \\%c escape", s[1])
+		}
+		var code rune
+		for _, c := range s[2 : 2+digits] {
+			v := hexVal(byte(c))
+			if v < 0 {
+				return "", 0, fmt.Errorf("invalid hex digit %q in unicode escape", c)
+			}
+			code = code<<4 | rune(v)
+		}
+		return string(code), 2 + digits, nil
+	default:
+		return "", 0, fmt.Errorf("unknown escape \\%c", s[1])
+	}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}
+
+// unescape decodes \uXXXX / \UXXXXXXXX escapes inside IRIs.
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '\\' && i+1 < len(s) {
+			if dec, n, err := decodeEscape(s[i:]); err == nil {
+				b.WriteString(dec)
+				i += n
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// Write serialises the graph in sorted order, one triple per line.
+func Write(w io.Writer, g *rdf.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples() {
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", t.S, t.P, t.O); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Format renders a single triple as an N-Triples line (with final dot).
+func Format(t rdf.Triple) string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}

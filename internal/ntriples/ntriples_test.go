@@ -1,0 +1,168 @@
+package ntriples
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestReadBasicTriples(t *testing.T) {
+	doc := `
+# a comment
+<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .
+<http://ex.org/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/C> .
+
+_:b0 <http://ex.org/p> "plain lit" .
+<http://ex.org/a> <http://ex.org/q> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex.org/a> <http://ex.org/r> "bonjour"@fr . # trailing comment
+`
+	g, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Fatalf("parsed %d triples, want 5", g.Len())
+	}
+	for _, want := range []rdf.Triple{
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewIRI("http://ex.org/b")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.Type, rdf.NewIRI("http://ex.org/C")),
+		rdf.T(rdf.NewBlank("b0"), rdf.NewIRI("http://ex.org/p"), rdf.NewLiteral("plain lit")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/q"), rdf.NewTypedLiteral("5", rdf.XSDInteger)),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/r"), rdf.NewLangLiteral("bonjour", "fr")),
+	} {
+		if !g.Has(want) {
+			t.Errorf("missing triple %v", want)
+		}
+	}
+}
+
+func TestReadEscapes(t *testing.T) {
+	doc := `<http://ex.org/a> <http://ex.org/p> "tab\there \"quoted\" back\\slash\nnewline" .
+<http://ex.org/a> <http://ex.org/p> "café" .
+`
+	g, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"),
+		rdf.NewLiteral("tab\there \"quoted\" back\\slash\nnewline"))) {
+		t.Error("escape decoding failed")
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewLiteral("café"))) {
+		t.Error("\\u escape decoding failed")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"missing dot", `<http://a> <http://p> <http://b>`},
+		{"unterminated iri", `<http://a <http://p> <http://b> .`},
+		{"unterminated literal", `<http://a> <http://p> "oops .`},
+		{"literal subject", `"x" <http://p> <http://b> .`},
+		{"trailing garbage", `<http://a> <http://p> <http://b> . extra`},
+		{"empty iri", `<> <http://p> <http://b> .`},
+		{"bad escape", `<http://a> <http://p> "\z" .`},
+		{"dangling escape", `<http://a> <http://p> "x\`},
+		{"empty blank label", `_: <http://p> <http://b> .`},
+		{"empty lang", `<http://a> <http://p> "x"@ .`},
+		{"bad datatype", `<http://a> <http://p> "x"^^ .`},
+		{"truncated unicode", `<http://a> <http://p> "\u00a" .`},
+		{"only two terms", `<http://a> <http://p> .`},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.doc))
+		if err == nil {
+			t.Errorf("%s: expected parse error, got none", c.name)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %T should be *ParseError", c.name, err)
+		} else if pe.Line != 1 {
+			t.Errorf("%s: error line = %d, want 1", c.name, pe.Line)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	doc := "<http://a> <http://p> <http://b> .\n\nbroken line\n"
+	_, err := Read(strings.NewReader(doc))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := rdf.GraphOf(
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewLiteral("multi\nline \"quote\" \\")),
+		rdf.T(rdf.NewBlank("x"), rdf.Type, rdf.NewIRI("http://ex.org/C")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/q"), rdf.NewLangLiteral("hé", "fr")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/q"), rdf.NewTypedLiteral("3.14", rdf.XSDDecimal)),
+		rdf.T(rdf.NewIRI("http://ex.org/c"), rdf.SubClassOf, rdf.NewIRI("http://ex.org/d")),
+	)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("re-reading serialised graph: %v\noutput was:\n%s", err, buf.String())
+	}
+	if !g.Equal(back) {
+		t.Errorf("round trip changed the graph:\nin:  %v\nout: %v", g.Triples(), back.Triples())
+	}
+}
+
+func TestRoundTripPropertyLiterals(t *testing.T) {
+	// Any literal lexical form must survive a write/read cycle.
+	f := func(lex string) bool {
+		g := rdf.GraphOf(rdf.T(rdf.NewIRI("http://ex.org/s"), rdf.NewIRI("http://ex.org/p"), rdf.NewLiteral(lex)))
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTriplesCallbackError(t *testing.T) {
+	doc := "<http://a> <http://p> <http://b> .\n<http://c> <http://p> <http://d> .\n"
+	sentinel := errors.New("stop")
+	n := 0
+	err := ReadTriples(strings.NewReader(doc), func(rdf.Triple) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("callback ran %d times, want 1", n)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	got := Format(rdf.T(rdf.NewIRI("http://a"), rdf.NewIRI("http://p"), rdf.NewLiteral("x")))
+	want := `<http://a> <http://p> "x" .`
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,134 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Graph is a simple in-memory set of RDF triples. It is the exchange format
+// between parsers, the dictionary-encoded store, and tests; the reasoning
+// and query machinery operates on internal/store for performance.
+//
+// A Graph is not safe for concurrent mutation.
+type Graph struct {
+	set map[Triple]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{set: make(map[Triple]struct{})} }
+
+// GraphOf builds a graph from the given triples (duplicates collapse).
+func GraphOf(triples ...Triple) *Graph {
+	g := NewGraph()
+	for _, t := range triples {
+		g.Add(t)
+	}
+	return g
+}
+
+// Add inserts a triple; it reports whether the triple was new.
+func (g *Graph) Add(t Triple) bool {
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	return true
+}
+
+// AddAll inserts every triple of other into g and returns the number added.
+func (g *Graph) AddAll(other *Graph) int {
+	n := 0
+	for t := range other.set {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes a triple; it reports whether the triple was present.
+func (g *Graph) Remove(t Triple) bool {
+	if _, ok := g.set[t]; !ok {
+		return false
+	}
+	delete(g.set, t)
+	return true
+}
+
+// Has reports whether the triple is in the graph.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len returns the number of triples.
+func (g *Graph) Len() int { return len(g.set) }
+
+// ForEach calls fn on every triple in unspecified order; iteration stops if
+// fn returns false.
+func (g *Graph) ForEach(fn func(Triple) bool) {
+	for t := range g.set {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Triples returns the triples sorted in (S,P,O) order, for deterministic
+// output and comparison in tests.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, len(g.set))
+	for t := range g.set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{set: make(map[Triple]struct{}, len(g.set))}
+	for t := range g.set {
+		c.set[t] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether both graphs contain exactly the same triples.
+// (Blank-node isomorphism is not considered: labels must match. This is the
+// saturation-comparison notion used by the paper, "up to blank node
+// renaming", which holds trivially here because saturation never renames.)
+func (g *Graph) Equal(other *Graph) bool {
+	if g.Len() != other.Len() {
+		return false
+	}
+	for t := range g.set {
+		if !other.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// SchemaTriples returns the schema (constraint) triples, sorted.
+func (g *Graph) SchemaTriples() []Triple {
+	var out []Triple
+	for t := range g.set {
+		if t.IsSchema() {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// InstanceTriples returns the non-schema triples, sorted.
+func (g *Graph) InstanceTriples() []Triple {
+	var out []Triple
+	for t := range g.set {
+		if !t.IsSchema() {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

@@ -1,0 +1,116 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func g3() *Graph {
+	return GraphOf(
+		T(exA, Type, exB),
+		T(exA, exP, exB),
+		T(exB, SubClassOf, exA),
+	)
+}
+
+func TestGraphAddRemoveHas(t *testing.T) {
+	g := NewGraph()
+	tr := T(exA, exP, exB)
+	if !g.Add(tr) {
+		t.Error("first Add should report new")
+	}
+	if g.Add(tr) {
+		t.Error("second Add should report duplicate")
+	}
+	if !g.Has(tr) || g.Len() != 1 {
+		t.Error("Has/Len inconsistent after Add")
+	}
+	if !g.Remove(tr) {
+		t.Error("Remove of present triple should report true")
+	}
+	if g.Remove(tr) {
+		t.Error("Remove of absent triple should report false")
+	}
+	if g.Has(tr) || g.Len() != 0 {
+		t.Error("Has/Len inconsistent after Remove")
+	}
+}
+
+func TestGraphTriplesSorted(t *testing.T) {
+	g := g3()
+	ts := g.Triples()
+	if len(ts) != 3 {
+		t.Fatalf("len = %d, want 3", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Compare(ts[i]) >= 0 {
+			t.Errorf("Triples() not strictly sorted at %d: %v then %v", i, ts[i-1], ts[i])
+		}
+	}
+}
+
+func TestGraphCloneIsIndependent(t *testing.T) {
+	g := g3()
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c.Add(T(exB, exP, exA))
+	if g.Equal(c) {
+		t.Error("mutating clone must not affect original")
+	}
+	if g.Len() != 3 || c.Len() != 4 {
+		t.Errorf("lengths: g=%d c=%d, want 3 and 4", g.Len(), c.Len())
+	}
+}
+
+func TestGraphEqual(t *testing.T) {
+	a := g3()
+	b := g3()
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("equal graphs not reported equal")
+	}
+	b.Remove(T(exA, exP, exB))
+	b.Add(T(exB, exP, exA))
+	if a.Equal(b) {
+		t.Error("different graphs reported equal")
+	}
+	if a.Equal(NewGraph()) {
+		t.Error("non-empty graph equal to empty graph")
+	}
+}
+
+func TestGraphSchemaInstanceSplit(t *testing.T) {
+	g := g3()
+	schema := g.SchemaTriples()
+	inst := g.InstanceTriples()
+	if len(schema) != 1 || schema[0] != T(exB, SubClassOf, exA) {
+		t.Errorf("schema split wrong: %v", schema)
+	}
+	if len(inst) != 2 {
+		t.Errorf("instance split wrong: %v", inst)
+	}
+	if len(schema)+len(inst) != g.Len() {
+		t.Error("split does not partition the graph")
+	}
+}
+
+func TestGraphAddAllAndForEach(t *testing.T) {
+	g := NewGraph()
+	n := g.AddAll(g3())
+	if n != 3 || g.Len() != 3 {
+		t.Errorf("AddAll added %d (len %d), want 3", n, g.Len())
+	}
+	if n := g.AddAll(g3()); n != 0 {
+		t.Errorf("AddAll of same graph added %d, want 0", n)
+	}
+	count := 0
+	g.ForEach(func(Triple) bool { count++; return true })
+	if count != 3 {
+		t.Errorf("ForEach visited %d, want 3", count)
+	}
+	count = 0
+	g.ForEach(func(Triple) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("ForEach with early stop visited %d, want 1", count)
+	}
+}

@@ -1,0 +1,170 @@
+// Package rdf implements the RDF data model used throughout the repository:
+// terms (IRIs, literals, blank nodes and — for query patterns — variables),
+// triples, and in-memory graphs, together with the rdf:/rdfs: vocabulary the
+// paper's Figure 1 is built on.
+//
+// The model follows the "database fragment" of RDF studied by the paper: an
+// RDF graph is a set of well-formed triples s p o where s is an IRI or blank
+// node, p is an IRI, and o is an IRI, blank node or literal. Variables never
+// appear in graphs; they exist so that triple patterns (SPARQL BGPs) can
+// reuse the same term representation.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the four kinds of RDF terms handled by this package.
+type TermKind uint8
+
+// The four term kinds. Variables are only legal in triple patterns.
+const (
+	// IRI is an absolute IRI reference (we do not resolve relative IRIs here;
+	// parsers do that before constructing terms).
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) RDF literal.
+	Literal
+	// Blank is a blank node, identified by its local label.
+	Blank
+	// Variable is a query variable; never part of a graph.
+	Variable
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	case Blank:
+		return "Blank"
+	case Variable:
+		return "Variable"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term. Terms are small comparable values: they can be used
+// directly as map keys, and == implements RDF term equality (IRIs equal by
+// string, literals equal by lexical form + datatype + language tag, blank
+// nodes equal by label within one graph).
+type Term struct {
+	// Kind discriminates the union.
+	Kind TermKind
+	// Value holds the IRI string, the literal's lexical form, the blank node
+	// label (without the "_:" prefix), or the variable name (without "?").
+	Value string
+	// Datatype is the datatype IRI for typed literals ("" otherwise).
+	Datatype string
+	// Lang is the language tag for language-tagged literals ("" otherwise).
+	Lang string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lexical string) Term { return Term{Kind: Literal, Value: lexical} }
+
+// NewTypedLiteral returns a literal with a datatype IRI.
+func NewTypedLiteral(lexical, datatype string) Term {
+	return Term{Kind: Literal, Value: lexical, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal. Language tags are
+// case-insensitive in RDF; we normalise to lower case so == works.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{Kind: Literal, Value: lexical, Lang: strings.ToLower(lang)}
+}
+
+// NewBlank returns a blank node with the given label (no "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// NewVar returns a query variable with the given name (no "?" prefix).
+func NewVar(name string) Term { return Term{Kind: Variable, Value: name} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// IsVar reports whether the term is a query variable.
+func (t Term) IsVar() bool { return t.Kind == Variable }
+
+// IsZero reports whether the term is the zero Term, used as "absent".
+func (t Term) IsZero() bool { return t == Term{} }
+
+// String renders the term in N-Triples-like concrete syntax: <iri>,
+// "literal"^^<dt>, "literal"@lang, _:label, or ?var.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Literal:
+		q := quoteLiteral(t.Value)
+		switch {
+		case t.Lang != "":
+			return q + "@" + t.Lang
+		case t.Datatype != "":
+			return q + "^^<" + t.Datatype + ">"
+		default:
+			return q
+		}
+	case Blank:
+		return "_:" + t.Value
+	case Variable:
+		return "?" + t.Value
+	default:
+		return fmt.Sprintf("<invalid term kind %d>", t.Kind)
+	}
+}
+
+// quoteLiteral escapes a literal lexical form per N-Triples rules.
+func quoteLiteral(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Compare orders terms: by kind first (IRI < Literal < Blank < Variable),
+// then by value, datatype and language. It gives graphs a deterministic
+// serialisation order.
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		if t.Kind < u.Kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.Value, u.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, u.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Lang, u.Lang)
+}

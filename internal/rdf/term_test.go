@@ -1,0 +1,133 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructorsAndPredicates(t *testing.T) {
+	cases := []struct {
+		term    Term
+		kind    TermKind
+		str     string
+		isIRI   bool
+		isLit   bool
+		isBlank bool
+		isVar   bool
+	}{
+		{NewIRI("http://ex.org/a"), IRI, "<http://ex.org/a>", true, false, false, false},
+		{NewLiteral("hi"), Literal, `"hi"`, false, true, false, false},
+		{NewTypedLiteral("3", XSDInteger), Literal, `"3"^^<` + XSDInteger + `>`, false, true, false, false},
+		{NewLangLiteral("chat", "FR"), Literal, `"chat"@fr`, false, true, false, false},
+		{NewBlank("b0"), Blank, "_:b0", false, false, true, false},
+		{NewVar("x"), Variable, "?x", false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.term.Kind != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.term, c.term.Kind, c.kind)
+		}
+		if got := c.term.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+		if c.term.IsIRI() != c.isIRI || c.term.IsLiteral() != c.isLit ||
+			c.term.IsBlank() != c.isBlank || c.term.IsVar() != c.isVar {
+			t.Errorf("%v: predicate mismatch", c.term)
+		}
+		if c.term.IsZero() {
+			t.Errorf("%v: IsZero() = true for non-zero term", c.term)
+		}
+	}
+	if !(Term{}).IsZero() {
+		t.Error("zero Term should report IsZero")
+	}
+}
+
+func TestLangTagNormalisation(t *testing.T) {
+	if NewLangLiteral("a", "EN") != NewLangLiteral("a", "en") {
+		t.Error("language tags should be case-normalised so == works")
+	}
+}
+
+func TestLiteralEscaping(t *testing.T) {
+	cases := map[string]string{
+		"plain":       `"plain"`,
+		"say \"hi\"":  `"say \"hi\""`,
+		"back\\slash": `"back\\slash"`,
+		"line\nbreak": `"line\nbreak"`,
+		"tab\there":   `"tab\there"`,
+		"cr\rhere":    `"cr\rhere"`,
+	}
+	for in, want := range cases {
+		if got := NewLiteral(in).String(); got != want {
+			t.Errorf("NewLiteral(%q).String() = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestTermEqualityAsMapKey(t *testing.T) {
+	m := map[Term]int{}
+	m[NewIRI("http://ex.org/a")] = 1
+	m[NewLiteral("a")] = 2
+	m[NewTypedLiteral("a", XSDString)] = 3
+	m[NewBlank("a")] = 4
+	if len(m) != 4 {
+		t.Fatalf("distinct terms collided: map has %d entries, want 4", len(m))
+	}
+	if m[NewIRI("http://ex.org/a")] != 1 {
+		t.Error("IRI lookup failed")
+	}
+	// Plain vs typed literal with same lexical form must be distinct terms.
+	if m[NewLiteral("a")] == m[NewTypedLiteral("a", XSDString)] {
+		t.Error("plain and xsd:string literals should be distinct terms")
+	}
+}
+
+func TestCompareOrdersKindsThenValues(t *testing.T) {
+	terms := []Term{
+		NewVar("v"),
+		NewBlank("b"),
+		NewLiteral("z"),
+		NewLiteral("a"),
+		NewIRI("http://ex.org/z"),
+		NewIRI("http://ex.org/a"),
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Compare(terms[j]) < 0 })
+	wantOrder := []TermKind{IRI, IRI, Literal, Literal, Blank, Variable}
+	for i, term := range terms {
+		if term.Kind != wantOrder[i] {
+			t.Fatalf("position %d: kind %v, want %v (order: %v)", i, term.Kind, wantOrder[i], terms)
+		}
+	}
+	if terms[0].Value != "http://ex.org/a" {
+		t.Errorf("IRIs not sorted by value: %v", terms[0])
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	// Compare must be a strict weak order consistent with equality.
+	f := func(av, bv string, ak, bk uint8) bool {
+		a := Term{Kind: TermKind(ak % 4), Value: av}
+		b := Term{Kind: TermKind(bk % 4), Value: bv}
+		cab, cba := a.Compare(b), b.Compare(a)
+		if a == b {
+			return cab == 0 && cba == 0
+		}
+		return cab == -cba && cab != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	for k, want := range map[TermKind]string{IRI: "IRI", Literal: "Literal", Blank: "Blank", Variable: "Variable"} {
+		if k.String() != want {
+			t.Errorf("TermKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(TermKind(42).String(), "42") {
+		t.Error("unknown kind should include numeric value")
+	}
+}

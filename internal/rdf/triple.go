@@ -1,0 +1,66 @@
+package rdf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Triple is an RDF triple (or, when it contains variables, a triple pattern).
+// Triples are comparable values and can be used as map keys.
+type Triple struct {
+	S, P, O Term
+}
+
+// T is a shorthand constructor for a triple.
+func T(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples-like syntax (no trailing dot).
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s", t.S, t.P, t.O)
+}
+
+// ErrIllFormed is wrapped by all well-formedness violations reported by
+// (Triple).WellFormed.
+var ErrIllFormed = errors.New("ill-formed triple")
+
+// WellFormed checks that the triple is a well-formed RDF triple per the DB
+// fragment: subject is an IRI or blank node, predicate is an IRI, and object
+// is an IRI, blank node or literal. Variables are rejected (they belong to
+// patterns, not graphs).
+func (t Triple) WellFormed() error {
+	switch t.S.Kind {
+	case IRI, Blank:
+	default:
+		return fmt.Errorf("%w: subject must be IRI or blank node, got %s", ErrIllFormed, t.S)
+	}
+	if t.P.Kind != IRI {
+		return fmt.Errorf("%w: predicate must be IRI, got %s", ErrIllFormed, t.P)
+	}
+	switch t.O.Kind {
+	case IRI, Blank, Literal:
+	default:
+		return fmt.Errorf("%w: object must be IRI, blank node or literal, got %s", ErrIllFormed, t.O)
+	}
+	return nil
+}
+
+// IsSchema reports whether the triple is a schema (constraint) triple, i.e.
+// its predicate is one of the four RDFS constraint properties.
+func (t Triple) IsSchema() bool { return IsSchemaProperty(t.P) }
+
+// HasVariable reports whether any position holds a query variable, i.e. the
+// value is a triple pattern rather than a concrete triple.
+func (t Triple) HasVariable() bool {
+	return t.S.IsVar() || t.P.IsVar() || t.O.IsVar()
+}
+
+// Compare orders triples lexicographically by subject, predicate, object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}

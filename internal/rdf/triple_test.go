@@ -1,0 +1,129 @@
+package rdf
+
+import (
+	"errors"
+	"testing"
+)
+
+var (
+	exA = NewIRI("http://ex.org/a")
+	exB = NewIRI("http://ex.org/b")
+	exP = NewIRI("http://ex.org/p")
+)
+
+func TestTripleWellFormed(t *testing.T) {
+	good := []Triple{
+		T(exA, exP, exB),
+		T(exA, exP, NewLiteral("v")),
+		T(NewBlank("b"), exP, NewBlank("c")),
+		T(exA, Type, exB),
+	}
+	for _, tr := range good {
+		if err := tr.WellFormed(); err != nil {
+			t.Errorf("%v: unexpected error %v", tr, err)
+		}
+	}
+	bad := []Triple{
+		T(NewLiteral("x"), exP, exB), // literal subject
+		T(exA, NewLiteral("p"), exB), // literal predicate
+		T(exA, NewBlank("p"), exB),   // blank predicate
+		T(exA, exP, NewVar("o")),     // variable object
+		T(NewVar("s"), exP, exB),     // variable subject
+		T(exA, NewVar("p"), exB),     // variable predicate
+	}
+	for _, tr := range bad {
+		err := tr.WellFormed()
+		if err == nil {
+			t.Errorf("%v: want well-formedness error, got nil", tr)
+			continue
+		}
+		if !errors.Is(err, ErrIllFormed) {
+			t.Errorf("%v: error %v should wrap ErrIllFormed", tr, err)
+		}
+	}
+}
+
+func TestTripleIsSchema(t *testing.T) {
+	schema := []Triple{
+		T(exA, SubClassOf, exB),
+		T(exA, SubPropertyOf, exB),
+		T(exA, Domain, exB),
+		T(exA, Range, exB),
+	}
+	for _, tr := range schema {
+		if !tr.IsSchema() {
+			t.Errorf("%v: should be schema", tr)
+		}
+	}
+	instance := []Triple{
+		T(exA, Type, exB),
+		T(exA, exP, exB),
+	}
+	for _, tr := range instance {
+		if tr.IsSchema() {
+			t.Errorf("%v: should not be schema", tr)
+		}
+	}
+}
+
+func TestTripleHasVariable(t *testing.T) {
+	if T(exA, exP, exB).HasVariable() {
+		t.Error("ground triple reported a variable")
+	}
+	for _, tr := range []Triple{
+		T(NewVar("s"), exP, exB),
+		T(exA, NewVar("p"), exB),
+		T(exA, exP, NewVar("o")),
+	} {
+		if !tr.HasVariable() {
+			t.Errorf("%v: variable not detected", tr)
+		}
+	}
+}
+
+func TestTripleStringAndCompare(t *testing.T) {
+	tr := T(exA, exP, NewLiteral("v"))
+	want := `<http://ex.org/a> <http://ex.org/p> "v"`
+	if tr.String() != want {
+		t.Errorf("String() = %q, want %q", tr.String(), want)
+	}
+	a := T(exA, exP, exA)
+	b := T(exA, exP, exB)
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Error("Compare is not a consistent order on triples")
+	}
+}
+
+func TestFigure1MappingMatchesVocabulary(t *testing.T) {
+	rows := Figure1()
+	if len(rows) != 6 {
+		t.Fatalf("Figure 1 has 6 rows, got %d", len(rows))
+	}
+	byName := map[string]Figure1Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["Class"].Property != Type {
+		t.Error("Class assertion row must use rdf:type")
+	}
+	for name, want := range map[string]Term{
+		"Subclass":      SubClassOf,
+		"Subproperty":   SubPropertyOf,
+		"Domain typing": Domain,
+		"Range typing":  Range,
+	} {
+		row := byName[name]
+		if row.Property != want {
+			t.Errorf("row %q: property %v, want %v", name, row.Property, want)
+		}
+		if row.Kind != "constraint" {
+			t.Errorf("row %q: kind %q, want constraint", name, row.Kind)
+		}
+		if !IsSchemaProperty(row.Property) {
+			t.Errorf("row %q: property not recognised as schema property", name)
+		}
+	}
+	if IsSchemaProperty(Type) {
+		t.Error("rdf:type is not a schema (constraint) property in the DB fragment")
+	}
+}

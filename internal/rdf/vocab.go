@@ -1,0 +1,83 @@
+package rdf
+
+// Namespace IRIs for the vocabularies the DB fragment of RDF relies on.
+const (
+	// RDFNS is the rdf: namespace.
+	RDFNS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	// RDFSNS is the rdfs: namespace.
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	// XSDNS is the xsd: namespace (literal datatypes).
+	XSDNS = "http://www.w3.org/2001/XMLSchema#"
+)
+
+// The built-in properties of Figure 1: rdf:type for class assertions, and the
+// four RDFS constraint properties for schema statements.
+var (
+	// Type is rdf:type — "s rdf:type o" states that resource s belongs to
+	// class o (relational notation o(s)).
+	Type = NewIRI(RDFNS + "type")
+	// SubClassOf is rdfs:subClassOf — "s rdfs:subClassOf o" states s ⊆ o.
+	SubClassOf = NewIRI(RDFSNS + "subClassOf")
+	// SubPropertyOf is rdfs:subPropertyOf — "s rdfs:subPropertyOf o" states s ⊆ o.
+	SubPropertyOf = NewIRI(RDFSNS + "subPropertyOf")
+	// Domain is rdfs:domain — "s rdfs:domain o" states Π_domain(s) ⊆ o.
+	Domain = NewIRI(RDFSNS + "domain")
+	// Range is rdfs:range — "s rdfs:range o" states Π_range(s) ⊆ o.
+	Range = NewIRI(RDFSNS + "range")
+
+	// Class is rdfs:Class, the class of classes.
+	Class = NewIRI(RDFSNS + "Class")
+	// RDFProperty is rdf:Property, the class of properties.
+	RDFProperty = NewIRI(RDFNS + "Property")
+	// RDFSResource is rdfs:Resource, the top class.
+	RDFSResource = NewIRI(RDFSNS + "Resource")
+	// Label is rdfs:label (annotation; carried through but not reasoned on).
+	Label = NewIRI(RDFSNS + "label")
+	// Comment is rdfs:comment (annotation).
+	Comment = NewIRI(RDFSNS + "comment")
+
+	// XSDString, XSDInteger, XSDDecimal, XSDBoolean are common literal
+	// datatypes emitted by the parsers.
+	XSDString  = XSDNS + "string"
+	XSDInteger = XSDNS + "integer"
+	XSDDecimal = XSDNS + "decimal"
+	XSDBoolean = XSDNS + "boolean"
+)
+
+// IsSchemaProperty reports whether p is one of the four RDFS constraint
+// properties of Figure 1 (bottom): rdfs:subClassOf, rdfs:subPropertyOf,
+// rdfs:domain, rdfs:range. Triples with such predicates are schema triples
+// in the DB fragment.
+func IsSchemaProperty(p Term) bool {
+	return p == SubClassOf || p == SubPropertyOf || p == Domain || p == Range
+}
+
+// Figure1Row is one row of the paper's Figure 1: how an assertion or
+// constraint is written as a triple and what it means.
+type Figure1Row struct {
+	// Kind is "assertion" or "constraint".
+	Kind string
+	// Name is the paper's row label, e.g. "Class" or "Domain typing".
+	Name string
+	// TriplePattern is the triple shape, e.g. "s rdf:type o".
+	TriplePattern string
+	// Semantics is the relational/OWA interpretation column.
+	Semantics string
+	// Property is the built-in property the row is about (zero Term for the
+	// generic property assertion row).
+	Property Term
+}
+
+// Figure1 returns the content of the paper's Figure 1 as data, so the bench
+// harness (experiment E1) can print it and tests can check the vocabulary
+// stays in sync with the paper.
+func Figure1() []Figure1Row {
+	return []Figure1Row{
+		{Kind: "assertion", Name: "Class", TriplePattern: "s rdf:type o", Semantics: "o(s)", Property: Type},
+		{Kind: "assertion", Name: "Property", TriplePattern: "s p o", Semantics: "p(s, o)"},
+		{Kind: "constraint", Name: "Subclass", TriplePattern: "s rdfs:subClassOf o", Semantics: "s ⊆ o", Property: SubClassOf},
+		{Kind: "constraint", Name: "Subproperty", TriplePattern: "s rdfs:subPropertyOf o", Semantics: "s ⊆ o", Property: SubPropertyOf},
+		{Kind: "constraint", Name: "Domain typing", TriplePattern: "s rdfs:domain o", Semantics: "Π_domain(s) ⊆ o", Property: Domain},
+		{Kind: "constraint", Name: "Range typing", TriplePattern: "s rdfs:range o", Semantics: "Π_range(s) ⊆ o", Property: Range},
+	}
+}

@@ -1,0 +1,50 @@
+// Package rdfio loads and saves RDF graphs by file extension, shared by the
+// command-line tools and examples.
+package rdfio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+	"repro/internal/turtle"
+)
+
+// Load reads an RDF file; the syntax is chosen by extension: .nt/.ntriples
+// for N-Triples, .ttl/.turtle for Turtle.
+func Load(path string) (*rdf.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".nt", ".ntriples":
+		return ntriples.Read(f)
+	case ".ttl", ".turtle":
+		return turtle.Parse(f)
+	default:
+		return nil, fmt.Errorf("rdfio: unknown RDF extension %q (want .nt or .ttl)", ext)
+	}
+}
+
+// Save writes a graph; the syntax is chosen by extension as in Load. For
+// Turtle output, prefixes may be nil.
+func Save(path string, g *rdf.Graph, prefixes map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".nt", ".ntriples":
+		return ntriples.Write(f, g)
+	case ".ttl", ".turtle":
+		return turtle.Write(f, g, prefixes)
+	default:
+		return fmt.Errorf("rdfio: unknown RDF extension %q (want .nt or .ttl)", ext)
+	}
+}

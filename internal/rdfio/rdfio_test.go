@@ -1,0 +1,51 @@
+package rdfio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func sample() *rdf.Graph {
+	return rdf.GraphOf(
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.Type, rdf.NewIRI("http://ex.org/C")),
+		rdf.T(rdf.NewIRI("http://ex.org/C"), rdf.SubClassOf, rdf.NewIRI("http://ex.org/D")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewLiteral("v w\nx")),
+	)
+}
+
+func TestRoundTripByExtension(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"g.nt", "g.ttl"} {
+		path := filepath.Join(dir, name)
+		if err := Save(path, sample(), map[string]string{"ex": "http://ex.org/"}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !back.Equal(sample()) {
+			t.Errorf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+func TestUnknownExtension(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(filepath.Join(dir, "g.rdfxml"), sample(), nil); err == nil {
+		t.Error("unknown save extension accepted")
+	}
+	path := filepath.Join(dir, "g.xyz")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("unknown load extension accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.nt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

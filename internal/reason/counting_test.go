@@ -1,0 +1,172 @@
+package reason
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestCountingSaturationMatchesDRed(t *testing.T) {
+	e := newEnv()
+	g := e.storeOf(
+		e.tr("Student", "sco", "Person"),
+		e.tr("advises", "spo", "knows"),
+		e.tr("advises", "dom", "Professor"),
+		e.tr("Professor", "sco", "Person"),
+		e.tr("a", "advises", "b"),
+		e.tr("b", "type", "Student"),
+	)
+	rules := RDFSRules(e.voc)
+	m := Materialize(g, rules)
+	c := MaterializeCounting(g, rules)
+	if !storesEqual(m.Store(), c.Store()) {
+		t.Fatalf("counting closure (%d) differs from DRed closure (%d)",
+			c.Store().Len(), m.Store().Len())
+	}
+	if c.BaseLen() != m.BaseLen() || c.DerivedLen() != m.DerivedLen() {
+		t.Error("base/derived accounting differs between engines")
+	}
+}
+
+func TestCountingTracksMultipleDerivations(t *testing.T) {
+	// x type C has two distinct derivations (via p and via q).
+	e := newEnv()
+	g := e.storeOf(
+		e.tr("p", "dom", "C"),
+		e.tr("q", "dom", "C"),
+		e.tr("x", "p", "y"),
+		e.tr("x", "q", "z"),
+	)
+	c := MaterializeCounting(g, RDFSRules(e.voc))
+	if n := c.DerivationCount(e.tr("x", "type", "C")); n != 2 {
+		t.Errorf("derivation count = %d, want 2", n)
+	}
+	// Deleting one support keeps the triple, deleting both removes it.
+	c.Delete(e.tr("x", "p", "y"))
+	if !c.Store().Contains(e.tr("x", "type", "C")) {
+		t.Fatal("triple vanished while one derivation remains")
+	}
+	if n := c.DerivationCount(e.tr("x", "type", "C")); n != 1 {
+		t.Errorf("derivation count after delete = %d, want 1", n)
+	}
+	c.Delete(e.tr("x", "q", "z"))
+	if c.Store().Contains(e.tr("x", "type", "C")) {
+		t.Fatal("unsupported triple survived")
+	}
+}
+
+func TestCountingInsertDeleteMatchesResaturation(t *testing.T) {
+	e := newEnv()
+	base := []store.Triple{
+		e.tr("GradStudent", "sco", "Student"),
+		e.tr("Student", "sco", "Person"),
+		e.tr("advises", "spo", "knows"),
+		e.tr("knows", "dom", "Person"),
+		e.tr("advises", "rng", "GradStudent"),
+		e.tr("a", "advises", "b"),
+		e.tr("a", "type", "Professor"),
+	}
+	rules := RDFSRules(e.voc)
+	c := MaterializeCounting(e.storeOf(base...), rules)
+
+	// Insert then delete a batch; compare each state to resaturation.
+	batch := []store.Triple{e.tr("b", "advises", "d"), e.tr("d", "type", "GradStudent")}
+	c.Insert(batch...)
+	want := Materialize(e.storeOf(append(append([]store.Triple{}, base...), batch...)...), rules)
+	if !storesEqual(c.Store(), want.Store()) {
+		t.Fatalf("after insert: counting (%d) != resaturation (%d)", c.Store().Len(), want.Store().Len())
+	}
+	c.Delete(batch...)
+	want = Materialize(e.storeOf(base...), rules)
+	if !storesEqual(c.Store(), want.Store()) {
+		t.Fatalf("after delete: counting (%d) != resaturation (%d)", c.Store().Len(), want.Store().Len())
+	}
+}
+
+func TestCountingSchemaDeletion(t *testing.T) {
+	e := newEnv()
+	base := []store.Triple{
+		e.tr("C0", "sco", "C1"),
+		e.tr("C1", "sco", "C2"),
+		e.tr("x", "type", "C0"),
+	}
+	rules := RDFSRules(e.voc)
+	c := MaterializeCounting(e.storeOf(base...), rules)
+	c.Delete(e.tr("C1", "sco", "C2"))
+	want := Materialize(e.storeOf(base[0], base[2]), rules)
+	if !storesEqual(c.Store(), want.Store()) {
+		t.Errorf("counting schema deletion diverged from resaturation")
+	}
+}
+
+// TestCountingRandomisedAgainstResaturation drives random insert/delete
+// sequences over an acyclic ontology (counting's soundness precondition)
+// and cross-checks the maintained store against full resaturation — the
+// property-based guarantee DESIGN.md promises for E7.
+func TestCountingRandomisedAgainstResaturation(t *testing.T) {
+	e := newEnv()
+	rules := RDFSRules(e.voc)
+	// Fixed acyclic schema.
+	schemaTriples := []store.Triple{
+		e.tr("A", "sco", "B"),
+		e.tr("B", "sco", "C"),
+		e.tr("p", "spo", "q"),
+		e.tr("q", "dom", "B"),
+		e.tr("q", "rng", "C"),
+	}
+	subjects := []string{"s1", "s2", "s3"}
+	classes := []string{"A", "B", "C"}
+	props := []string{"p", "q"}
+
+	rng := rand.New(rand.NewSource(7))
+	randInstance := func() store.Triple {
+		s := subjects[rng.Intn(len(subjects))]
+		if rng.Intn(2) == 0 {
+			return e.tr(s, "type", classes[rng.Intn(len(classes))])
+		}
+		return e.tr(s, props[rng.Intn(len(props))], subjects[rng.Intn(len(subjects))])
+	}
+
+	c := MaterializeCounting(e.storeOf(schemaTriples...), rules)
+	current := map[store.Triple]struct{}{}
+	for _, tr := range schemaTriples {
+		current[tr] = struct{}{}
+	}
+	for step := 0; step < 120; step++ {
+		tr := randInstance()
+		if rng.Intn(2) == 0 {
+			c.Insert(tr)
+			current[tr] = struct{}{}
+		} else {
+			c.Delete(tr)
+			delete(current, tr)
+		}
+		baseStore := store.New()
+		for x := range current {
+			baseStore.Add(x)
+		}
+		want := Materialize(baseStore, rules)
+		if !storesEqual(c.Store(), want.Store()) {
+			t.Fatalf("step %d (%v): counting store (%d triples) diverged from resaturation (%d)",
+				step, tr, c.Store().Len(), want.Store().Len())
+		}
+	}
+}
+
+func TestCountingDuplicateOperations(t *testing.T) {
+	e := newEnv()
+	c := MaterializeCounting(e.tomGraph(), RDFSRules(e.voc))
+	if n := c.Insert(e.tr("tom", "type", "Cat")); n != 0 {
+		t.Error("duplicate insert should be a no-op")
+	}
+	if n := c.Delete(e.tr("never", "type", "There")); n != 0 {
+		t.Error("absent delete should be a no-op")
+	}
+	if !c.IsBase(e.tr("tom", "type", "Cat")) {
+		t.Error("IsBase lost track of base triple")
+	}
+	if c.IsBase(e.tr("tom", "type", "Mammal")) {
+		t.Error("derived triple reported as base")
+	}
+}

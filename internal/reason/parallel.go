@@ -1,0 +1,103 @@
+package reason
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// MaterializeParallel computes the same closure as Materialize using
+// round-synchronous parallelism, a single-machine take on the paper's open
+// issue of "efficiently maintaining RDF graph saturation, especially in a
+// distributed setting" (§II-D; Motik et al. [29] study the shared-memory
+// version at scale).
+//
+// Within one round the store is frozen: workers partition the delta and
+// compute rule instantiations against the read-only store, then a single
+// merge step adds the conclusions and forms the next delta. Conclusions
+// produced in a round only become visible in the next round, so the
+// iteration may need more rounds than the sequential semi-naive engine, but
+// it reaches the same fixpoint (naive-iteration argument: every rule
+// application eventually fires).
+//
+// workers ≤ 0 selects GOMAXPROCS. The returned Materialization supports the
+// same incremental maintenance as the sequential one.
+func MaterializeParallel(g *store.Store, rules []Rule, workers int) *Materialization {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := &Materialization{
+		st:    store.New(),
+		base:  make(map[store.Triple]struct{}, g.Len()),
+		rules: rules,
+	}
+	delta := make([]store.Triple, 0, g.Len())
+	g.ForEachMatch(store.Triple{}, func(t store.Triple) bool {
+		m.base[t] = struct{}{}
+		m.st.Add(t)
+		delta = append(delta, t)
+		return true
+	})
+
+	for len(delta) > 0 {
+		m.Stats.Rounds++
+		conclusions := parallelRound(m.st, rules, delta, workers)
+		delta = delta[:0]
+		for _, c := range conclusions {
+			if m.st.Add(c) {
+				m.Stats.Derived++
+				delta = append(delta, c)
+			}
+		}
+	}
+	return m
+}
+
+// parallelRound joins every delta triple against the frozen store under
+// every rule, fanning the delta out over workers. The per-worker outputs
+// are deduplicated locally (cheaply, with a set) before the sequential
+// merge.
+func parallelRound(st *store.Store, rules []Rule, delta []store.Triple, workers int) []store.Triple {
+	if len(delta) < 2*workers {
+		workers = 1
+	}
+	chunk := (len(delta) + workers - 1) / workers
+	outs := make([][]store.Triple, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(delta))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := map[store.Triple]struct{}{}
+			for _, t := range delta[lo:hi] {
+				for ri := range rules {
+					r := &rules[ri]
+					for pos := 0; pos < 2; pos++ {
+						forEachInstantiation(st, r, pos, t, func(c, _ store.Triple) {
+							if !st.Contains(c) {
+								local[c] = struct{}{}
+							}
+						})
+					}
+				}
+			}
+			out := make([]store.Triple, 0, len(local))
+			for c := range local {
+				out = append(out, c)
+			}
+			outs[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var merged []store.Triple
+	for _, out := range outs {
+		merged = append(merged, out...)
+	}
+	return merged
+}

@@ -1,0 +1,255 @@
+// Package reason implements the forward-chaining side of the paper: RDF
+// entailment rules, graph saturation (the closure G∞ of Section II-A), and
+// the saturation-maintenance algorithms for instance and schema updates
+// whose costs drive the thresholds of Figure 3.
+//
+// Rules are declarative values: two triple-pattern premises and a conclusion
+// over shared variables. The engine is a small semi-naive Datalog evaluator
+// specialised to triples, so the RDFS rule set of Figure 2 is data, not
+// code, and user-defined rules (Oracle-style, Section II-C) work unchanged.
+package reason
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+// Atom is one position of a rule pattern: either a constant term ID or a
+// rule variable (an index local to the rule).
+type Atom struct {
+	// IsVar distinguishes variables from constants.
+	IsVar bool
+	// ID is the constant (when !IsVar).
+	ID dict.ID
+	// Var is the variable index (when IsVar), in [0, Rule.NVars).
+	Var int
+}
+
+// C returns a constant atom.
+func C(id dict.ID) Atom { return Atom{ID: id} }
+
+// V returns a variable atom.
+func V(i int) Atom { return Atom{IsVar: true, Var: i} }
+
+// Pattern is a triple pattern over rule atoms.
+type Pattern struct {
+	S, P, O Atom
+}
+
+// Rule is an immediate entailment rule with exactly two premises, the shape
+// of every rule in the DB fragment of RDF (Figure 2 plus the schema-level
+// rules). Premises and conclusion share variables by index.
+type Rule struct {
+	// Name is the rule's identifier, e.g. "rdfs9" (paper names where they
+	// exist, "ext-*" for the constraint-on-constraint rules of [12]).
+	Name string
+	// Doc is the human-readable rendering used to reproduce Figure 2.
+	Doc string
+	// InFigure2 marks the four rules the paper shows in Figure 2.
+	InFigure2 bool
+	// SchemaOnly marks rules whose conclusion is a schema triple (they
+	// implement the schema closure; instance-level rules derive instance
+	// triples).
+	SchemaOnly bool
+	// Premises are the two body patterns.
+	Premises [2]Pattern
+	// Conclusion is the head pattern; all its variables must appear in the
+	// premises (the rules are safe).
+	Conclusion Pattern
+	// NVars is the number of distinct variables in the rule.
+	NVars int
+}
+
+// Validate checks rule safety: conclusion variables must occur in premises,
+// and variable indexes must be dense in [0, NVars).
+func (r *Rule) Validate() error {
+	seen := make([]bool, r.NVars)
+	record := func(a Atom, where string) error {
+		if !a.IsVar {
+			return nil
+		}
+		if a.Var < 0 || a.Var >= r.NVars {
+			return fmt.Errorf("rule %s: variable %d out of range in %s", r.Name, a.Var, where)
+		}
+		seen[a.Var] = true
+		return nil
+	}
+	for i, p := range r.Premises {
+		for _, a := range []Atom{p.S, p.P, p.O} {
+			if err := record(a, fmt.Sprintf("premise %d", i)); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range seen {
+		if !seen[i] {
+			return fmt.Errorf("rule %s: variable %d unused in premises", r.Name, i)
+		}
+	}
+	for _, a := range []Atom{r.Conclusion.S, r.Conclusion.P, r.Conclusion.O} {
+		if a.IsVar && (a.Var < 0 || a.Var >= r.NVars) {
+			return fmt.Errorf("rule %s: conclusion variable %d out of range", r.Name, a.Var)
+		}
+		if a.IsVar && !seen[a.Var] {
+			return fmt.Errorf("rule %s: conclusion variable %d not bound by premises (unsafe rule)", r.Name, a.Var)
+		}
+	}
+	return nil
+}
+
+// RDFSRules returns the entailment rule set of the DB fragment of RDF: the
+// four instance-entailment rules of Figure 2 (rdfs2, rdfs3, rdfs7, rdfs9)
+// plus the schema-level rules that close the ontology (rdfs5, rdfs11 and the
+// four constraint-propagation rules used by [12]).
+func RDFSRules(voc schema.Vocab) []Rule {
+	// Variable naming convention inside each rule, for readability:
+	// 0,1,2 are the first premise's fresh positions in reading order.
+	rules := []Rule{
+		{
+			Name: "rdfs5", Doc: "p1 rdfs:subPropertyOf p2 ∧ p2 rdfs:subPropertyOf p3 ⊢ p1 rdfs:subPropertyOf p3",
+			SchemaOnly: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.SubPropertyOf), O: V(1)},
+				{S: V(1), P: C(voc.SubPropertyOf), O: V(2)},
+			},
+			Conclusion: Pattern{S: V(0), P: C(voc.SubPropertyOf), O: V(2)},
+			NVars:      3,
+		},
+		{
+			Name: "rdfs11", Doc: "c1 rdfs:subClassOf c2 ∧ c2 rdfs:subClassOf c3 ⊢ c1 rdfs:subClassOf c3",
+			SchemaOnly: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.SubClassOf), O: V(1)},
+				{S: V(1), P: C(voc.SubClassOf), O: V(2)},
+			},
+			Conclusion: Pattern{S: V(0), P: C(voc.SubClassOf), O: V(2)},
+			NVars:      3,
+		},
+		{
+			Name: "ext-dom-sp", Doc: "p1 rdfs:subPropertyOf p2 ∧ p2 rdfs:domain c ⊢ p1 rdfs:domain c",
+			SchemaOnly: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.SubPropertyOf), O: V(1)},
+				{S: V(1), P: C(voc.Domain), O: V(2)},
+			},
+			Conclusion: Pattern{S: V(0), P: C(voc.Domain), O: V(2)},
+			NVars:      3,
+		},
+		{
+			Name: "ext-rng-sp", Doc: "p1 rdfs:subPropertyOf p2 ∧ p2 rdfs:range c ⊢ p1 rdfs:range c",
+			SchemaOnly: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.SubPropertyOf), O: V(1)},
+				{S: V(1), P: C(voc.Range), O: V(2)},
+			},
+			Conclusion: Pattern{S: V(0), P: C(voc.Range), O: V(2)},
+			NVars:      3,
+		},
+		{
+			Name: "ext-dom-sc", Doc: "p rdfs:domain c1 ∧ c1 rdfs:subClassOf c2 ⊢ p rdfs:domain c2",
+			SchemaOnly: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.Domain), O: V(1)},
+				{S: V(1), P: C(voc.SubClassOf), O: V(2)},
+			},
+			Conclusion: Pattern{S: V(0), P: C(voc.Domain), O: V(2)},
+			NVars:      3,
+		},
+		{
+			Name: "ext-rng-sc", Doc: "p rdfs:range c1 ∧ c1 rdfs:subClassOf c2 ⊢ p rdfs:range c2",
+			SchemaOnly: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.Range), O: V(1)},
+				{S: V(1), P: C(voc.SubClassOf), O: V(2)},
+			},
+			Conclusion: Pattern{S: V(0), P: C(voc.Range), O: V(2)},
+			NVars:      3,
+		},
+		{
+			Name: "rdfs2", Doc: "p rdfs:domain c ∧ s p o ⊢ s rdf:type c",
+			InFigure2: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.Domain), O: V(1)},
+				{S: V(2), P: V(0), O: V(3)},
+			},
+			Conclusion: Pattern{S: V(2), P: C(voc.Type), O: V(1)},
+			NVars:      4,
+		},
+		{
+			Name: "rdfs3", Doc: "p rdfs:range c ∧ s p o ⊢ o rdf:type c",
+			InFigure2: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.Range), O: V(1)},
+				{S: V(2), P: V(0), O: V(3)},
+			},
+			Conclusion: Pattern{S: V(3), P: C(voc.Type), O: V(1)},
+			NVars:      4,
+		},
+		{
+			Name: "rdfs7", Doc: "p1 rdfs:subPropertyOf p2 ∧ s p1 o ⊢ s p2 o",
+			InFigure2: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.SubPropertyOf), O: V(1)},
+				{S: V(2), P: V(0), O: V(3)},
+			},
+			Conclusion: Pattern{S: V(2), P: V(1), O: V(3)},
+			NVars:      4,
+		},
+		{
+			Name: "rdfs9", Doc: "c1 rdfs:subClassOf c2 ∧ s rdf:type c1 ⊢ s rdf:type c2",
+			InFigure2: true,
+			Premises: [2]Pattern{
+				{S: V(0), P: C(voc.SubClassOf), O: V(1)},
+				{S: V(2), P: C(voc.Type), O: V(0)},
+			},
+			Conclusion: Pattern{S: V(2), P: C(voc.Type), O: V(1)},
+			NVars:      3,
+		},
+	}
+	return rules
+}
+
+// Figure2Rules returns, in the paper's order, the four rules shown in
+// Figure 2 (experiment E2).
+func Figure2Rules(voc schema.Vocab) []Rule {
+	var byName = map[string]Rule{}
+	for _, r := range RDFSRules(voc) {
+		if r.InFigure2 {
+			byName[r.Name] = r
+		}
+	}
+	return []Rule{byName["rdfs9"], byName["rdfs7"], byName["rdfs2"], byName["rdfs3"]}
+}
+
+// matchPattern binds pattern p against concrete triple t, writing variable
+// bindings into b (dict.None means "unbound"). It reports whether the match
+// is consistent with the bindings already in b.
+func matchPattern(p Pattern, t store.Triple, b []dict.ID) bool {
+	bind := func(a Atom, v dict.ID) bool {
+		if !a.IsVar {
+			return a.ID == v
+		}
+		if b[a.Var] == dict.None {
+			b[a.Var] = v
+			return true
+		}
+		return b[a.Var] == v
+	}
+	return bind(p.S, t.S) && bind(p.P, t.P) && bind(p.O, t.O)
+}
+
+// instantiate builds the (possibly partial) triple pattern obtained by
+// substituting bindings into p; unbound variables map to dict.None, i.e.
+// store wildcards.
+func instantiate(p Pattern, b []dict.ID) store.Triple {
+	get := func(a Atom) dict.ID {
+		if a.IsVar {
+			return b[a.Var]
+		}
+		return a.ID
+	}
+	return store.Triple{S: get(p.S), P: get(p.P), O: get(p.O)}
+}

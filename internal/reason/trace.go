@@ -1,0 +1,104 @@
+package reason
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/store"
+)
+
+// Derivation is a proof tree for an entailed triple: either a base fact
+// (Rule == "", no premises) or the conclusion of a rule applied to two
+// explained premises. OWLIM-style "justifications" (Section II-C) reduced
+// to their essence.
+type Derivation struct {
+	Triple   store.Triple
+	Rule     string
+	Premises []*Derivation
+}
+
+// Explain returns a proof tree for t over the current saturation, or nil if
+// t is not in the saturated store. Base triples explain themselves; derived
+// triples are explained by any one rule instantiation whose premises can be
+// explained without revisiting a triple already on the current proof path
+// (which makes the search terminate even on cyclic schemas).
+func (m *Materialization) Explain(t store.Triple) *Derivation {
+	if !m.st.Contains(t) {
+		return nil
+	}
+	return m.explain(t, map[store.Triple]bool{})
+}
+
+func (m *Materialization) explain(t store.Triple, onPath map[store.Triple]bool) *Derivation {
+	if m.IsBase(t) {
+		return &Derivation{Triple: t}
+	}
+	if onPath[t] {
+		return nil
+	}
+	onPath[t] = true
+	defer delete(onPath, t)
+
+	var result *Derivation
+	for ri := range m.rules {
+		if result != nil {
+			break
+		}
+		r := &m.rules[ri]
+		b := make([]dict.ID, r.NVars)
+		if !matchPattern(r.Conclusion, t, b) {
+			continue
+		}
+		p0 := instantiate(r.Premises[0], b)
+		b2 := make([]dict.ID, r.NVars)
+		m.st.ForEachMatch(p0, func(u store.Triple) bool {
+			copy(b2, b)
+			if !matchPattern(r.Premises[0], u, b2) {
+				return true
+			}
+			du := m.explain(u, onPath)
+			if du == nil {
+				return true
+			}
+			p1 := instantiate(r.Premises[1], b2)
+			b3 := make([]dict.ID, r.NVars)
+			m.st.ForEachMatch(p1, func(v store.Triple) bool {
+				copy(b3, b2)
+				if !matchPattern(r.Premises[1], v, b3) || instantiate(r.Conclusion, b3) != t {
+					return true
+				}
+				dv := m.explain(v, onPath)
+				if dv == nil {
+					return true
+				}
+				result = &Derivation{Triple: t, Rule: r.Name, Premises: []*Derivation{du, dv}}
+				return false
+			})
+			return result == nil
+		})
+	}
+	return result
+}
+
+// Format renders the proof tree indented, resolving IDs through d.
+func (d *Derivation) Format(dic *dict.Dict) string {
+	var b strings.Builder
+	d.format(dic, &b, 0)
+	return b.String()
+}
+
+func (d *Derivation) format(dic *dict.Dict, b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	s, _ := dic.Term(d.Triple.S)
+	p, _ := dic.Term(d.Triple.P)
+	o, _ := dic.Term(d.Triple.O)
+	if d.Rule == "" {
+		fmt.Fprintf(b, "%s%s %s %s   [asserted]\n", indent, s, p, o)
+		return
+	}
+	fmt.Fprintf(b, "%s%s %s %s   [%s]\n", indent, s, p, o, d.Rule)
+	for _, prem := range d.Premises {
+		prem.format(dic, b, depth+1)
+	}
+}

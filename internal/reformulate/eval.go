@@ -1,0 +1,41 @@
+package reformulate
+
+import (
+	"repro/internal/dict"
+	"repro/internal/engine"
+)
+
+// Evaluate runs the union against a triple source (normally the original,
+// unsaturated store whose schema component is closed) and returns the
+// deduplicated answer set over the original query's projection — the
+// q_ref(G) = q(G∞) of Section II-B. Variables fixed by the rewriting are
+// emitted as constant columns.
+func (u *UCQ) Evaluate(src engine.Source, d *dict.Dict) (*engine.Result, error) {
+	proj := u.Query.Projection()
+	out := &engine.Result{Vars: proj}
+	for _, br := range u.Branches {
+		res, err := engine.EvalBGP(src, br.Patterns, d)
+		if err != nil {
+			return nil, err
+		}
+		res = res.Project(proj)
+		// Fill columns for variables the rewriting bound to constants.
+		var fixedCols []int
+		var fixedIDs []dict.ID
+		for i, v := range proj {
+			if t, ok := br.Fixed[v]; ok {
+				if id, known := d.Lookup(t); known {
+					fixedCols = append(fixedCols, i)
+					fixedIDs = append(fixedIDs, id)
+				}
+			}
+		}
+		for _, row := range res.Rows {
+			for k, col := range fixedCols {
+				row[col] = fixedIDs[k]
+			}
+		}
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	return out.Distinct(), nil
+}

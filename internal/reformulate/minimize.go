@@ -1,0 +1,102 @@
+package reformulate
+
+import (
+	"repro/internal/rdf"
+)
+
+// Minimize prunes union members that are subsumed by another member: branch
+// B is redundant if some other branch A maps homomorphically into B while
+// fixing the query's named variables, because every answer B produces over
+// any graph, A produces too. [12] stresses computing *minimal*
+// reformulations for exactly this reason — redundant members cost
+// evaluation time without adding answers.
+//
+// Containment of conjunctive queries is NP-hard in general; the BGPs
+// produced by reformulation are small (the homomorphism search is over a
+// handful of patterns), so a simple backtracking check suffices. Minimize
+// returns a new UCQ; the receiver is unchanged. Of a set of mutually
+// equivalent branches, the earliest is kept.
+func (u *UCQ) Minimize() *UCQ {
+	out := &UCQ{Query: u.Query}
+	for i, b := range u.Branches {
+		redundant := false
+		for j, a := range u.Branches {
+			if i == j || !sameFixed(a.Fixed, b.Fixed) {
+				continue
+			}
+			if !subsumes(a, b) {
+				continue
+			}
+			// a maps into b. If they are mutually subsuming (equivalent),
+			// drop only the later one.
+			if j > i && subsumes(b, a) {
+				continue
+			}
+			redundant = true
+			break
+		}
+		if !redundant {
+			out.Branches = append(out.Branches, b)
+		}
+	}
+	return out
+}
+
+// sameFixed reports whether two branches fix the same variables to the same
+// terms (branches with different fixed bindings produce different answer
+// columns and are never interchangeable).
+func sameFixed(a, b map[string]rdf.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// isFreshVar reports whether t is a rewriting-introduced variable ("_fN"),
+// the only kind a subsumption homomorphism may remap.
+func isFreshVar(t rdf.Term) bool {
+	return t.IsVar() && len(t.Value) > 2 && t.Value[0] == '_' && t.Value[1] == 'f'
+}
+
+// subsumes reports whether branch a subsumes branch b: a homomorphism from
+// a's patterns into b's patterns that is the identity on constants and on
+// the query's named variables, with a's fresh variables free to map to any
+// term of b. Identity on all named variables (not just projected ones)
+// keeps the check sound for any downstream use of the bindings.
+func subsumes(a, b Branch) bool {
+	assign := map[string]rdf.Term{}
+	mapTerm := func(t rdf.Term, target rdf.Term) bool {
+		if !isFreshVar(t) {
+			return t == target
+		}
+		if bound, ok := assign[t.Value]; ok {
+			return bound == target
+		}
+		assign[t.Value] = target
+		return true
+	}
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == len(a.Patterns) {
+			return true
+		}
+		p := a.Patterns[i]
+		for _, cand := range b.Patterns {
+			snapshot := make(map[string]rdf.Term, len(assign))
+			for k, v := range assign {
+				snapshot[k] = v
+			}
+			if mapTerm(p.S, cand.S) && mapTerm(p.P, cand.P) && mapTerm(p.O, cand.O) && match(i+1) {
+				return true
+			}
+			assign = snapshot
+		}
+		return false
+	}
+	return match(0)
+}

@@ -1,0 +1,405 @@
+// Package reformulate implements the paper's second query-answering
+// technique: rewriting a BGP query q into a union of BGP queries qref such
+// that evaluating qref against the original graph G yields exactly the
+// answers of q against the saturation G∞ — q_ref(G) = q(G∞), Section II-B.
+//
+// The algorithm is the fixpoint rewriting of [12] (Goasdoué, Manolescu,
+// Roatiş, EDBT 2013) for the DB fragment of RDF with a closed schema:
+//
+//   - (s rdf:type C)  expands to (s rdf:type C') for every subclass C' ⊑ C,
+//     to (s P ⋆) for every property P with domain C, and to (⋆ P s) for
+//     every property P with range C (⋆ = fresh non-projected variable);
+//   - (s P o) expands to (s P' o) for every subproperty P' ⊑ P;
+//   - a variable in class position is instantiated against the finite set
+//     of candidate classes (classes of the schema plus classes asserted in
+//     G), and a variable in property position against the candidate
+//     properties (properties of the schema, properties used in G, and
+//     rdf:type) — sound and complete in the DB fragment because the RDFS
+//     rules never invent new classes or properties.
+//
+// Schema-level triple patterns (rdfs:subClassOf etc.) are not rewritten:
+// like [12], the schema component of the store is always kept closed, so
+// direct evaluation is already complete for them.
+package reformulate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/schema"
+	"repro/internal/sparql"
+)
+
+// VocabularySource enumerates the property and class vocabulary of the data
+// graph, used to instantiate variables in schema positions. *store.Store
+// implements it.
+type VocabularySource interface {
+	// Predicates returns the distinct predicates used by triples in G.
+	Predicates() []dict.ID
+	// Objects returns the distinct objects of triples with predicate p.
+	Objects(p dict.ID) []dict.ID
+}
+
+// Options tunes reformulation.
+type Options struct {
+	// MaxBranches caps the size of the union; reformulation fails with
+	// ErrTooLarge beyond it. Zero means DefaultMaxBranches.
+	MaxBranches int
+	// Minimize prunes union members subsumed by other members before
+	// returning ([12]'s minimal reformulations). It trades rewriting time
+	// for evaluation time; see experiment E6.
+	Minimize bool
+}
+
+// DefaultMaxBranches bounds union growth; the paper notes reformulated
+// queries can get syntactically large, and a runaway rewriting is a bug in
+// the caller's schema, not something to silently chew memory on.
+const DefaultMaxBranches = 65536
+
+// ErrTooLarge is returned when the union exceeds Options.MaxBranches.
+var ErrTooLarge = fmt.Errorf("reformulate: union exceeds branch limit")
+
+// Branch is one BGP of the reformulated union. Fixed records variables the
+// rewriting bound to constants (from schema-position instantiation): the
+// evaluator must emit those constants in the corresponding result columns.
+type Branch struct {
+	Patterns []rdf.Triple
+	Fixed    map[string]rdf.Term
+}
+
+// UCQ is a reformulated query: a union of conjunctive (BGP) queries, all
+// sharing the original query's projection.
+type UCQ struct {
+	// Query is the original query.
+	Query *sparql.Query
+	// Branches are the union members; evaluating their union over G and
+	// deduplicating yields q(G∞).
+	Branches []Branch
+}
+
+// Size returns the number of union members, the paper's measure of
+// reformulation blowup (experiment E6).
+func (u *UCQ) Size() int { return len(u.Branches) }
+
+// String renders the reformulation as a SPARQL-ish union for display.
+func (u *UCQ) String() string {
+	var b strings.Builder
+	proj := u.Query.Projection()
+	b.WriteString("SELECT")
+	for _, v := range proj {
+		b.WriteString(" ?" + v)
+	}
+	b.WriteString(" WHERE {\n")
+	for i, br := range u.Branches {
+		if i > 0 {
+			b.WriteString("  UNION\n")
+		}
+		b.WriteString("  {")
+		for j, p := range br.Patterns {
+			if j > 0 {
+				b.WriteString(" .")
+			}
+			fmt.Fprintf(&b, " %s %s %s", p.S, p.P, p.O)
+		}
+		if len(br.Fixed) > 0 {
+			vars := make([]string, 0, len(br.Fixed))
+			for v := range br.Fixed {
+				vars = append(vars, v)
+			}
+			sort.Strings(vars)
+			for _, v := range vars {
+				fmt.Fprintf(&b, " . BIND(%s AS ?%s)", br.Fixed[v], v)
+			}
+		}
+		b.WriteString(" }\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// reformulator carries the shared state of one reformulation run.
+type reformulator struct {
+	sch   *schema.Schema
+	d     *dict.Dict
+	src   VocabularySource
+	max   int
+	seen  map[string]struct{}
+	out   []Branch
+	queue []Branch
+	fresh int
+
+	// candidate vocabularies, computed lazily.
+	classCandidates []rdf.Term
+	propCandidates  []rdf.Term
+}
+
+// Reformulate rewrites q against the closed schema. src supplies the data
+// graph's vocabulary for schema-position variables; it may be nil when the
+// query has no variables in class/property positions.
+func Reformulate(q *sparql.Query, sch *schema.Schema, d *dict.Dict, src VocabularySource, opt Options) (*UCQ, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	max := opt.MaxBranches
+	if max <= 0 {
+		max = DefaultMaxBranches
+	}
+	r := &reformulator{sch: sch, d: d, src: src, max: max, seen: map[string]struct{}{}}
+	root := Branch{Patterns: append([]rdf.Triple(nil), q.Patterns...), Fixed: map[string]rdf.Term{}}
+	if err := r.push(root); err != nil {
+		return nil, err
+	}
+	for len(r.queue) > 0 {
+		br := r.queue[0]
+		r.queue = r.queue[1:]
+		r.out = append(r.out, br)
+		if err := r.expand(br); err != nil {
+			return nil, err
+		}
+	}
+	ucq := &UCQ{Query: q, Branches: r.out}
+	if opt.Minimize {
+		ucq = ucq.Minimize()
+	}
+	return ucq, nil
+}
+
+// push enqueues a branch unless an equivalent one was already produced.
+func (r *reformulator) push(br Branch) error {
+	key := canonicalKey(br)
+	if _, dup := r.seen[key]; dup {
+		return nil
+	}
+	if len(r.seen) >= r.max {
+		return fmt.Errorf("%w (limit %d)", ErrTooLarge, r.max)
+	}
+	r.seen[key] = struct{}{}
+	r.queue = append(r.queue, br)
+	return nil
+}
+
+// expand applies every single-step rewriting to every pattern of br.
+func (r *reformulator) expand(br Branch) error {
+	for i, p := range br.Patterns {
+		switch {
+		case p.P == rdf.Type:
+			if err := r.expandTypePattern(br, i, p); err != nil {
+				return err
+			}
+		case p.P.IsVar():
+			if err := r.instantiateVar(br, p.P, r.propertyCandidates()); err != nil {
+				return err
+			}
+		case p.P.IsIRI() && !rdf.IsSchemaProperty(p.P):
+			if err := r.expandSubProperty(br, i, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *reformulator) expandTypePattern(br Branch, i int, p rdf.Triple) error {
+	if p.O.IsVar() {
+		return r.instantiateVar(br, p.O, r.classCandidatesList())
+	}
+	if !p.O.IsIRI() {
+		return nil // rdf:type with a literal object matches nothing entailed
+	}
+	cid, ok := r.d.Lookup(p.O)
+	if !ok {
+		return nil // class unknown to graph and schema: no expansions
+	}
+	// (s type C) ⇒ (s type C') for C' ⊑ C.
+	for _, sub := range r.sch.SubClasses(cid) {
+		nb := br.replace(i, rdf.T(p.S, rdf.Type, r.d.MustTerm(sub)))
+		if err := r.push(nb); err != nil {
+			return err
+		}
+	}
+	// (s type C) ⇒ (s P ⋆) for P with domain C.
+	for _, prop := range r.sch.PropertiesWithDomain(cid) {
+		nb := br.replace(i, rdf.T(p.S, r.d.MustTerm(prop), r.freshVar()))
+		if err := r.push(nb); err != nil {
+			return err
+		}
+	}
+	// (s type C) ⇒ (⋆ P s) for P with range C.
+	for _, prop := range r.sch.PropertiesWithRange(cid) {
+		nb := br.replace(i, rdf.T(r.freshVar(), r.d.MustTerm(prop), p.S))
+		if err := r.push(nb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *reformulator) expandSubProperty(br Branch, i int, p rdf.Triple) error {
+	pid, ok := r.d.Lookup(p.P)
+	if !ok {
+		return nil
+	}
+	for _, sub := range r.sch.SubProperties(pid) {
+		nb := br.replace(i, rdf.T(p.S, r.d.MustTerm(sub), p.O))
+		if err := r.push(nb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// instantiateVar substitutes every candidate constant for variable v across
+// the whole branch, recording the binding so the evaluator can emit it.
+func (r *reformulator) instantiateVar(br Branch, v rdf.Term, candidates []rdf.Term) error {
+	for _, cand := range candidates {
+		nb := br.substitute(v, cand)
+		if err := r.push(nb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *reformulator) freshVar() rdf.Term {
+	r.fresh++
+	return rdf.NewVar(fmt.Sprintf("_f%d", r.fresh))
+}
+
+// propertyCandidates returns the possible bindings of a property-position
+// variable over G∞: properties used in G, properties of the schema, and
+// rdf:type.
+func (r *reformulator) propertyCandidates() []rdf.Term {
+	if r.propCandidates != nil {
+		return r.propCandidates
+	}
+	set := map[rdf.Term]struct{}{rdf.Type: {}}
+	if r.src != nil {
+		for _, id := range r.src.Predicates() {
+			set[r.d.MustTerm(id)] = struct{}{}
+		}
+	}
+	for _, id := range r.sch.Properties() {
+		set[r.d.MustTerm(id)] = struct{}{}
+	}
+	r.propCandidates = sortTerms(set)
+	return r.propCandidates
+}
+
+// classCandidatesList returns the possible bindings of a class-position
+// variable over G∞: classes asserted in G plus classes of the schema.
+func (r *reformulator) classCandidatesList() []rdf.Term {
+	if r.classCandidates != nil {
+		return r.classCandidates
+	}
+	set := map[rdf.Term]struct{}{}
+	if r.src != nil {
+		if typeID, ok := r.d.Lookup(rdf.Type); ok {
+			for _, id := range r.src.Objects(typeID) {
+				set[r.d.MustTerm(id)] = struct{}{}
+			}
+		}
+	}
+	for _, id := range r.sch.Classes() {
+		set[r.d.MustTerm(id)] = struct{}{}
+	}
+	r.classCandidates = sortTerms(set)
+	return r.classCandidates
+}
+
+func sortTerms(set map[rdf.Term]struct{}) []rdf.Term {
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// replace returns a copy of the branch with pattern i swapped for p,
+// dropping exact duplicate patterns.
+func (b Branch) replace(i int, p rdf.Triple) Branch {
+	nb := Branch{Patterns: make([]rdf.Triple, 0, len(b.Patterns)), Fixed: b.Fixed}
+	for j, old := range b.Patterns {
+		if j == i {
+			nb.Patterns = append(nb.Patterns, p)
+		} else {
+			nb.Patterns = append(nb.Patterns, old)
+		}
+	}
+	nb.Patterns = dedupePatterns(nb.Patterns)
+	return nb
+}
+
+// substitute returns a copy of the branch with variable v replaced by term
+// c everywhere, and the binding recorded in Fixed.
+func (b Branch) substitute(v rdf.Term, c rdf.Term) Branch {
+	nb := Branch{Patterns: make([]rdf.Triple, 0, len(b.Patterns)), Fixed: map[string]rdf.Term{}}
+	for k, t := range b.Fixed {
+		nb.Fixed[k] = t
+	}
+	nb.Fixed[v.Value] = c
+	sub := func(t rdf.Term) rdf.Term {
+		if t == v {
+			return c
+		}
+		return t
+	}
+	for _, p := range b.Patterns {
+		nb.Patterns = append(nb.Patterns, rdf.T(sub(p.S), sub(p.P), sub(p.O)))
+	}
+	nb.Patterns = dedupePatterns(nb.Patterns)
+	return nb
+}
+
+func dedupePatterns(ps []rdf.Triple) []rdf.Triple {
+	seen := map[rdf.Triple]struct{}{}
+	out := ps[:0]
+	for _, p := range ps {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// canonicalKey renders a branch with fresh variables (named "_f…") renamed
+// in order of appearance over sorted patterns, so branches that differ only
+// in fresh-variable naming deduplicate.
+func canonicalKey(b Branch) string {
+	ps := append([]rdf.Triple(nil), b.Patterns...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+	rename := map[string]string{}
+	var sb strings.Builder
+	writeTerm := func(t rdf.Term) {
+		if t.IsVar() && strings.HasPrefix(t.Value, "_f") {
+			nn, ok := rename[t.Value]
+			if !ok {
+				nn = fmt.Sprintf("_c%d", len(rename))
+				rename[t.Value] = nn
+			}
+			sb.WriteString("?" + nn)
+			return
+		}
+		sb.WriteString(t.String())
+	}
+	for _, p := range ps {
+		writeTerm(p.S)
+		sb.WriteByte(' ')
+		writeTerm(p.P)
+		sb.WriteByte(' ')
+		writeTerm(p.O)
+		sb.WriteByte('\n')
+	}
+	fixed := make([]string, 0, len(b.Fixed))
+	for v, t := range b.Fixed {
+		fixed = append(fixed, v+"="+t.String())
+	}
+	sort.Strings(fixed)
+	sb.WriteString(strings.Join(fixed, ";"))
+	return sb.String()
+}

@@ -1,0 +1,294 @@
+// Package schema extracts the RDFS ontology (the constraint triples of the
+// paper's Figure 1, bottom) from a store and computes its closure: the
+// transitive closure of rdfs:subClassOf and rdfs:subPropertyOf, and the
+// propagation of rdfs:domain/rdfs:range constraints through both hierarchies.
+//
+// Both query reformulation and backward-chaining evaluation assume a closed
+// schema (as does the EDBT'13 work the paper's Figure 3 comes from): schema
+// graphs are small relative to instance data, so closing them is cheap and
+// makes every single-step expansion rule complete.
+package schema
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Vocab holds the dictionary IDs of the RDF/RDFS vocabulary terms the
+// reasoning machinery keys on. Encoding them once up front keeps hot paths
+// free of dictionary lookups.
+type Vocab struct {
+	Type          dict.ID
+	SubClassOf    dict.ID
+	SubPropertyOf dict.ID
+	Domain        dict.ID
+	Range         dict.ID
+}
+
+// NewVocab encodes the vocabulary in d (assigning IDs if necessary).
+func NewVocab(d *dict.Dict) Vocab {
+	return Vocab{
+		Type:          d.Encode(rdf.Type),
+		SubClassOf:    d.Encode(rdf.SubClassOf),
+		SubPropertyOf: d.Encode(rdf.SubPropertyOf),
+		Domain:        d.Encode(rdf.Domain),
+		Range:         d.Encode(rdf.Range),
+	}
+}
+
+// IsConstraintProperty reports whether p is one of the four RDFS constraint
+// properties.
+func (v Vocab) IsConstraintProperty(p dict.ID) bool {
+	return p == v.SubClassOf || p == v.SubPropertyOf || p == v.Domain || p == v.Range
+}
+
+type idSet map[dict.ID]struct{}
+
+func (s idSet) add(id dict.ID) bool {
+	if _, ok := s[id]; ok {
+		return false
+	}
+	s[id] = struct{}{}
+	return true
+}
+
+func (s idSet) sorted() []dict.ID {
+	out := make([]dict.ID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Schema is the closed RDFS ontology of a graph. All relations are strict
+// (they never contain c ⊑ c unless the input contains a cycle through c).
+type Schema struct {
+	voc Vocab
+
+	subClass  map[dict.ID]idSet // class -> strict superclasses (closed)
+	superOf   map[dict.ID]idSet // class -> strict subclasses (closed, inverse)
+	subProp   map[dict.ID]idSet // property -> strict superproperties (closed)
+	subPropOf map[dict.ID]idSet // property -> strict subproperties (closed, inverse)
+	domain    map[dict.ID]idSet // property -> domain classes (closed)
+	rng       map[dict.ID]idSet // property -> range classes (closed)
+	domOf     map[dict.ID]idSet // class -> properties with that domain (closed, inverse)
+	rngOf     map[dict.ID]idSet // class -> properties with that range (closed, inverse)
+
+	classes    idSet // every ID that occurs in class position of a constraint
+	properties idSet // every ID that occurs in property position of a constraint
+}
+
+// TripleSource is the read capability Extract needs; *store.Store satisfies
+// it, as does any overlay/union view of stores.
+type TripleSource interface {
+	ForEachMatch(pat store.Triple, fn func(store.Triple) bool)
+}
+
+// Extract builds the closed schema from the constraint triples in st.
+func Extract(st TripleSource, voc Vocab) *Schema {
+	s := &Schema{
+		voc:       voc,
+		subClass:  map[dict.ID]idSet{},
+		superOf:   map[dict.ID]idSet{},
+		subProp:   map[dict.ID]idSet{},
+		subPropOf: map[dict.ID]idSet{},
+		domain:    map[dict.ID]idSet{},
+		rng:       map[dict.ID]idSet{},
+		domOf:     map[dict.ID]idSet{},
+		rngOf:     map[dict.ID]idSet{},
+
+		classes:    idSet{},
+		properties: idSet{},
+	}
+	add := func(m map[dict.ID]idSet, k, v dict.ID) bool {
+		set, ok := m[k]
+		if !ok {
+			set = idSet{}
+			m[k] = set
+		}
+		return set.add(v)
+	}
+	for _, p := range []dict.ID{voc.SubClassOf, voc.SubPropertyOf, voc.Domain, voc.Range} {
+		st.ForEachMatch(store.Triple{P: p}, func(t store.Triple) bool {
+			switch p {
+			case voc.SubClassOf:
+				add(s.subClass, t.S, t.O)
+				s.classes.add(t.S)
+				s.classes.add(t.O)
+			case voc.SubPropertyOf:
+				add(s.subProp, t.S, t.O)
+				s.properties.add(t.S)
+				s.properties.add(t.O)
+			case voc.Domain:
+				add(s.domain, t.S, t.O)
+				s.properties.add(t.S)
+				s.classes.add(t.O)
+			case voc.Range:
+				add(s.rng, t.S, t.O)
+				s.properties.add(t.S)
+				s.classes.add(t.O)
+			}
+			return true
+		})
+	}
+
+	transitiveClose(s.subClass)
+	transitiveClose(s.subProp)
+
+	// Propagate domain/range: through superproperties downwards
+	// (p ⊑ p', p' domain c ⇒ p domain c) and through superclasses upwards
+	// (p domain c, c ⊑ c' ⇒ p domain c').
+	propagate := func(constraint map[dict.ID]idSet) {
+		for p, supers := range s.subProp {
+			for sup := range supers {
+				for c := range constraint[sup] {
+					add(constraint, p, c)
+				}
+			}
+		}
+		for p, cs := range constraint {
+			for c := range cs {
+				for sup := range s.subClass[c] {
+					add(constraint, p, sup)
+				}
+			}
+		}
+	}
+	propagate(s.domain)
+	propagate(s.rng)
+
+	// Build inverses.
+	invert := func(m, inv map[dict.ID]idSet) {
+		for k, vs := range m {
+			for v := range vs {
+				add(inv, v, k)
+			}
+		}
+	}
+	invert(s.subClass, s.superOf)
+	invert(s.subProp, s.subPropOf)
+	invert(s.domain, s.domOf)
+	invert(s.rng, s.rngOf)
+	return s
+}
+
+// transitiveClose closes reach-to maps in place (reach[a] ∋ b, reach[b] ∋ c
+// ⇒ reach[a] ∋ c). Schemas are small, so a simple per-node DFS suffices.
+func transitiveClose(reach map[dict.ID]idSet) {
+	for start := range reach {
+		// DFS from start over the original+growing edges; since we only ever
+		// add reachable nodes, iterating to fixpoint per node is sound.
+		stack := reach[start].sorted()
+		seen := idSet{}
+		for _, n := range stack {
+			seen.add(n)
+		}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for m := range reach[n] {
+				if seen.add(m) {
+					reach[start].add(m)
+					stack = append(stack, m)
+				}
+			}
+		}
+	}
+}
+
+// Vocab returns the vocabulary IDs the schema was built with.
+func (s *Schema) Vocab() Vocab { return s.voc }
+
+// SubClasses returns the strict subclasses of c, sorted.
+func (s *Schema) SubClasses(c dict.ID) []dict.ID { return s.superOf[c].sorted() }
+
+// SuperClasses returns the strict superclasses of c, sorted.
+func (s *Schema) SuperClasses(c dict.ID) []dict.ID { return s.subClass[c].sorted() }
+
+// SubProperties returns the strict subproperties of p, sorted.
+func (s *Schema) SubProperties(p dict.ID) []dict.ID { return s.subPropOf[p].sorted() }
+
+// SuperProperties returns the strict superproperties of p, sorted.
+func (s *Schema) SuperProperties(p dict.ID) []dict.ID { return s.subProp[p].sorted() }
+
+// Domains returns the (closed) domain classes of property p, sorted.
+func (s *Schema) Domains(p dict.ID) []dict.ID { return s.domain[p].sorted() }
+
+// Ranges returns the (closed) range classes of property p, sorted.
+func (s *Schema) Ranges(p dict.ID) []dict.ID { return s.rng[p].sorted() }
+
+// PropertiesWithDomain returns properties whose closed domain includes c.
+func (s *Schema) PropertiesWithDomain(c dict.ID) []dict.ID { return s.domOf[c].sorted() }
+
+// PropertiesWithRange returns properties whose closed range includes c.
+func (s *Schema) PropertiesWithRange(c dict.ID) []dict.ID { return s.rngOf[c].sorted() }
+
+// IsSubClassOf reports whether c1 is a strict subclass of c2 in the closure.
+func (s *Schema) IsSubClassOf(c1, c2 dict.ID) bool {
+	_, ok := s.subClass[c1][c2]
+	return ok
+}
+
+// IsSubPropertyOf reports whether p1 is a strict subproperty of p2.
+func (s *Schema) IsSubPropertyOf(p1, p2 dict.ID) bool {
+	_, ok := s.subProp[p1][p2]
+	return ok
+}
+
+// Classes returns every ID used as a class in some constraint, sorted.
+func (s *Schema) Classes() []dict.ID { return s.classes.sorted() }
+
+// Properties returns every ID used as a property in some constraint, sorted.
+func (s *Schema) Properties() []dict.ID { return s.properties.sorted() }
+
+// Size returns the number of (closed) constraint pairs, a measure of the
+// ontology's size used in reports.
+func (s *Schema) Size() int {
+	n := 0
+	for _, set := range s.subClass {
+		n += len(set)
+	}
+	for _, set := range s.subProp {
+		n += len(set)
+	}
+	for _, set := range s.domain {
+		n += len(set)
+	}
+	for _, set := range s.rng {
+		n += len(set)
+	}
+	return n
+}
+
+// ClosureTriples returns the closed schema as encoded triples (including the
+// input constraints), sorted. Saturation seeds the store with these so the
+// saturated graph contains the schema closure, as the RDFS rules require.
+func (s *Schema) ClosureTriples() []store.Triple {
+	var out []store.Triple
+	appendAll := func(m map[dict.ID]idSet, p dict.ID) {
+		for sub, objs := range m {
+			for obj := range objs {
+				out = append(out, store.Triple{S: sub, P: p, O: obj})
+			}
+		}
+	}
+	appendAll(s.subClass, s.voc.SubClassOf)
+	appendAll(s.subProp, s.voc.SubPropertyOf)
+	appendAll(s.domain, s.voc.Domain)
+	appendAll(s.rng, s.voc.Range)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	return out
+}

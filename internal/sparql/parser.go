@@ -1,0 +1,452 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/rdf"
+)
+
+// ParseError is a SPARQL syntax error with position information.
+type ParseError struct {
+	Pos int // byte offset in the query string
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("sparql: at byte %d: %s", e.Pos, e.Msg) }
+
+// Parse parses a BGP query (SELECT or ASK).
+func Parse(src string) (*Query, error) {
+	p := &qparser{src: src, q: &Query{Prefixes: map[string]string{}}}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.q.Validate(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+// MustParse parses a query known to be valid; it panics on error and exists
+// for tests and built-in workload definitions.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qparser struct {
+	src string
+	pos int
+	q   *Query
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *qparser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '#' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		return
+	}
+}
+
+// keyword consumes the given case-insensitive keyword if present.
+func (p *qparser) keyword(kw string) bool {
+	p.skipWS()
+	if len(p.src)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	// Must not be a prefix of a longer word.
+	next := p.pos + len(kw)
+	if next < len(p.src) {
+		r, _ := utf8.DecodeRuneInString(p.src[next:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			return false
+		}
+	}
+	p.pos = next
+	return true
+}
+
+func (p *qparser) parse() error {
+	for p.keyword("PREFIX") {
+		if err := p.prefixDecl(); err != nil {
+			return err
+		}
+	}
+	switch {
+	case p.keyword("SELECT"):
+		p.q.Form = Select
+		if p.keyword("DISTINCT") {
+			p.q.Distinct = true
+		}
+		if err := p.projection(); err != nil {
+			return err
+		}
+	case p.keyword("ASK"):
+		p.q.Form = Ask
+	default:
+		return p.errf("expected SELECT or ASK")
+	}
+	// WHERE is optional before the group pattern in SPARQL.
+	p.keyword("WHERE")
+	if err := p.groupGraphPattern(); err != nil {
+		return err
+	}
+	if p.keyword("LIMIT") {
+		p.skipWS()
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		if start == p.pos {
+			return p.errf("expected integer after LIMIT")
+		}
+		n, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil || n < 0 {
+			return p.errf("bad LIMIT value")
+		}
+		p.q.Limit = n
+	}
+	p.skipWS()
+	if p.pos != len(p.src) {
+		return p.errf("unexpected trailing content %q", p.src[p.pos:])
+	}
+	return nil
+}
+
+func (p *qparser) prefixDecl() error {
+	p.skipWS()
+	colon := strings.IndexByte(p.src[p.pos:], ':')
+	if colon < 0 {
+		return p.errf("malformed PREFIX declaration")
+	}
+	name := strings.TrimSpace(p.src[p.pos : p.pos+colon])
+	for _, r := range name {
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-') {
+			return p.errf("bad prefix name %q", name)
+		}
+	}
+	p.pos += colon + 1
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return p.errf("expected IRI in PREFIX declaration")
+	}
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return p.errf("unterminated IRI")
+	}
+	p.q.Prefixes[name] = p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	return nil
+}
+
+func (p *qparser) projection() error {
+	p.skipWS()
+	if p.pos < len(p.src) && p.src[p.pos] == '*' {
+		p.pos++
+		p.q.Star = true
+		return nil
+	}
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '?' && p.src[p.pos] != '$') {
+			break
+		}
+		v, err := p.variable()
+		if err != nil {
+			return err
+		}
+		p.q.Vars = append(p.q.Vars, v)
+	}
+	if len(p.q.Vars) == 0 {
+		return p.errf("SELECT needs * or at least one variable")
+	}
+	return nil
+}
+
+func (p *qparser) variable() (string, error) {
+	// p.src[p.pos] is '?' or '$'
+	start := p.pos + 1
+	end := start
+	for end < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[end:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			end += size
+			continue
+		}
+		break
+	}
+	if end == start {
+		return "", p.errf("empty variable name")
+	}
+	p.pos = end
+	return p.src[start:end], nil
+}
+
+func (p *qparser) groupGraphPattern() error {
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '{' {
+		return p.errf("expected '{'")
+	}
+	p.pos++
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return p.errf("unterminated group pattern")
+		}
+		if p.src[p.pos] == '}' {
+			p.pos++
+			return nil
+		}
+		if err := p.triplesSameSubject(); err != nil {
+			return err
+		}
+		p.skipWS()
+		// Optional '.' separator between triples blocks.
+		if p.pos < len(p.src) && p.src[p.pos] == '.' {
+			p.pos++
+		}
+	}
+}
+
+// triplesSameSubject parses subject predicate object (';' predicate object)*
+// (',' object)* — the property/object list abbreviations.
+func (p *qparser) triplesSameSubject() error {
+	subj, err := p.term(posSubject)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.term(posPredicate)
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.term(posObject)
+			if err != nil {
+				return err
+			}
+			p.q.Patterns = append(p.q.Patterns, rdf.T(subj, pred, obj))
+			p.skipWS()
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == ';' {
+			p.pos++
+			p.skipWS()
+			// Allow dangling ';' before '.' or '}'.
+			if p.pos < len(p.src) && (p.src[p.pos] == '.' || p.src[p.pos] == '}') {
+				return nil
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+type termPos int
+
+const (
+	posSubject termPos = iota
+	posPredicate
+	posObject
+)
+
+func (p *qparser) term(pos termPos) (rdf.Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return rdf.Term{}, p.errf("expected term")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '?' || c == '$':
+		v, err := p.variable()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewVar(v), nil
+	case c == '<':
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return rdf.Term{}, p.errf("unterminated IRI")
+		}
+		iri := p.src[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		return rdf.NewIRI(iri), nil
+	case c == '"':
+		if pos != posObject {
+			return rdf.Term{}, p.errf("literal only allowed in object position")
+		}
+		return p.literal()
+	case c == '_':
+		if !strings.HasPrefix(p.src[p.pos:], "_:") {
+			return rdf.Term{}, p.errf("expected blank node label")
+		}
+		start := p.pos + 2
+		end := start
+		for end < len(p.src) {
+			r, size := utf8.DecodeRuneInString(p.src[end:])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+				end += size
+				continue
+			}
+			break
+		}
+		if end == start {
+			return rdf.Term{}, p.errf("empty blank node label")
+		}
+		p.pos = end
+		// In SPARQL, blank nodes in queries behave as non-projectable
+		// variables; we map _:x to an internal variable named "_:x".
+		return rdf.NewVar("_:" + p.src[start:end]), nil
+	case c == 'a' && pos == posPredicate:
+		// 'a' keyword — only if a standalone token.
+		next := p.pos + 1
+		if next >= len(p.src) || isDelim(p.src[next]) {
+			p.pos++
+			return rdf.Type, nil
+		}
+		return p.prefixedName()
+	default:
+		return p.prefixedName()
+	}
+}
+
+func isDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '<' || c == '?' || c == '$' || c == '"' || c == '_'
+}
+
+func (p *qparser) literal() (rdf.Term, error) {
+	// p.src[p.pos] == '"'
+	i := p.pos + 1
+	var b strings.Builder
+	for {
+		if i >= len(p.src) {
+			return rdf.Term{}, p.errf("unterminated literal")
+		}
+		c := p.src[i]
+		if c == '"' {
+			i++
+			break
+		}
+		if c == '\\' {
+			if i+1 >= len(p.src) {
+				return rdf.Term{}, p.errf("dangling escape")
+			}
+			switch p.src[i+1] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return rdf.Term{}, p.errf("unknown escape \\%c", p.src[i+1])
+			}
+			i += 2
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	lex := b.String()
+	p.pos = i
+	if p.pos < len(p.src) && p.src[p.pos] == '@' {
+		start := p.pos + 1
+		end := start
+		for end < len(p.src) && (isAlnumByte(p.src[end]) || p.src[end] == '-') {
+			end++
+		}
+		if end == start {
+			return rdf.Term{}, p.errf("empty language tag")
+		}
+		lang := p.src[start:end]
+		p.pos = end
+		return rdf.NewLangLiteral(lex, lang), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == '<' {
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				return rdf.Term{}, p.errf("unterminated datatype IRI")
+			}
+			dt := p.src[p.pos+1 : p.pos+end]
+			p.pos += end + 1
+			return rdf.NewTypedLiteral(lex, dt), nil
+		}
+		dt, err := p.prefixedName()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewTypedLiteral(lex, dt.Value), nil
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+func isAlnumByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (p *qparser) prefixedName() (rdf.Term, error) {
+	start := p.pos
+	end := start
+	for end < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[end:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' {
+			end += size
+			continue
+		}
+		break
+	}
+	if end >= len(p.src) || p.src[end] != ':' {
+		return rdf.Term{}, p.errf("expected term, got %q", p.src[start:min(end+1, len(p.src))])
+	}
+	prefix := p.src[start:end]
+	localStart := end + 1
+	localEnd := localStart
+	for localEnd < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[localEnd:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+			localEnd += size
+			continue
+		}
+		break
+	}
+	ns, ok := p.q.Prefixes[prefix]
+	if !ok {
+		return rdf.Term{}, p.errf("undeclared prefix %q", prefix)
+	}
+	p.pos = localEnd
+	return rdf.NewIRI(ns + p.src[localStart:localEnd]), nil
+}

@@ -1,0 +1,160 @@
+// Package sparql implements the query dialect the paper considers: BGP
+// (basic graph pattern) queries, a.k.a. SPARQL conjunctive queries —
+// SELECT/ASK over a set of triple patterns, with PREFIX declarations,
+// DISTINCT and LIMIT. Triple patterns reuse rdf.Term with Variable terms.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Form distinguishes SELECT from ASK queries.
+type Form int
+
+const (
+	// Select queries return variable bindings.
+	Select Form = iota
+	// Ask queries return a boolean.
+	Ask
+)
+
+// Query is a parsed BGP query.
+type Query struct {
+	// Form is SELECT or ASK.
+	Form Form
+	// Vars are the projected variable names (without '?'), in declaration
+	// order. Empty with Star=true for SELECT *.
+	Vars []string
+	// Star marks SELECT *.
+	Star bool
+	// Distinct marks SELECT DISTINCT.
+	Distinct bool
+	// Patterns is the BGP: a set of triple patterns.
+	Patterns []rdf.Triple
+	// Limit caps the number of results; 0 means no limit.
+	Limit int
+	// Prefixes holds the PREFIX declarations, kept for round-trip printing.
+	Prefixes map[string]string
+}
+
+// PatternVars returns the distinct variable names used in the BGP, sorted.
+func (q *Query) PatternVars() []string {
+	set := map[string]struct{}{}
+	for _, p := range q.Patterns {
+		for _, t := range []rdf.Term{p.S, p.P, p.O} {
+			if t.IsVar() {
+				set[t.Value] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Projection returns the effective projection: the declared variables, or
+// all pattern variables for SELECT * (and for ASK, which projects nothing
+// but evaluates like SELECT *).
+func (q *Query) Projection() []string {
+	if q.Star || q.Form == Ask || len(q.Vars) == 0 {
+		return q.PatternVars()
+	}
+	return q.Vars
+}
+
+// Validate checks that the query is a legal BGP query: non-empty pattern,
+// projected variables appear in the BGP, pattern terms are legal for their
+// positions (no literal subjects/predicates).
+func (q *Query) Validate() error {
+	if len(q.Patterns) == 0 {
+		return fmt.Errorf("sparql: empty basic graph pattern")
+	}
+	inBGP := map[string]bool{}
+	for _, v := range q.PatternVars() {
+		inBGP[v] = true
+	}
+	for _, v := range q.Vars {
+		if !inBGP[v] {
+			return fmt.Errorf("sparql: projected variable ?%s does not occur in the pattern", v)
+		}
+	}
+	for _, p := range q.Patterns {
+		if p.S.IsLiteral() {
+			return fmt.Errorf("sparql: literal subject in pattern %s", p)
+		}
+		if p.P.IsLiteral() || p.P.IsBlank() {
+			return fmt.Errorf("sparql: illegal predicate in pattern %s", p)
+		}
+	}
+	return nil
+}
+
+// String renders the query in canonical SPARQL syntax (used to display
+// reformulated queries and in error messages).
+func (q *Query) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(q.Prefixes))
+	for n := range q.Prefixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "PREFIX %s: <%s>\n", n, q.Prefixes[n])
+	}
+	switch q.Form {
+	case Ask:
+		b.WriteString("ASK")
+	default:
+		b.WriteString("SELECT")
+		if q.Distinct {
+			b.WriteString(" DISTINCT")
+		}
+		if q.Star || len(q.Vars) == 0 {
+			b.WriteString(" *")
+		} else {
+			for _, v := range q.Vars {
+				b.WriteString(" ?" + v)
+			}
+		}
+	}
+	b.WriteString(" WHERE {")
+	for i, p := range q.Patterns {
+		if i > 0 {
+			b.WriteString(" .")
+		}
+		fmt.Fprintf(&b, " %s %s %s", formatTerm(p.S), formatTerm(p.P), formatTerm(p.O))
+	}
+	b.WriteString(" }")
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+func formatTerm(t rdf.Term) string {
+	if t.Kind == rdf.IRI && t == rdf.Type {
+		return "a"
+	}
+	return t.String()
+}
+
+// Clone returns a deep copy of the query (reformulation mutates copies).
+func (q *Query) Clone() *Query {
+	c := *q
+	c.Vars = append([]string(nil), q.Vars...)
+	c.Patterns = append([]rdf.Triple(nil), q.Patterns...)
+	if q.Prefixes != nil {
+		c.Prefixes = make(map[string]string, len(q.Prefixes))
+		for k, v := range q.Prefixes {
+			c.Prefixes[k] = v
+		}
+	}
+	return &c
+}

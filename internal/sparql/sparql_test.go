@@ -1,0 +1,187 @@
+package sparql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestParseSelectBasic(t *testing.T) {
+	q := MustParse(`
+PREFIX ex: <http://ex.org/>
+SELECT ?x ?y WHERE { ?x ex:knows ?y . ?x a ex:Person }
+`)
+	if q.Form != Select || q.Distinct || q.Star {
+		t.Error("query form flags wrong")
+	}
+	if len(q.Vars) != 2 || q.Vars[0] != "x" || q.Vars[1] != "y" {
+		t.Errorf("Vars = %v", q.Vars)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("patterns = %v", q.Patterns)
+	}
+	want0 := rdf.T(rdf.NewVar("x"), rdf.NewIRI("http://ex.org/knows"), rdf.NewVar("y"))
+	if q.Patterns[0] != want0 {
+		t.Errorf("pattern 0 = %v, want %v", q.Patterns[0], want0)
+	}
+	want1 := rdf.T(rdf.NewVar("x"), rdf.Type, rdf.NewIRI("http://ex.org/Person"))
+	if q.Patterns[1] != want1 {
+		t.Errorf("pattern 1 = %v, want %v ('a' keyword)", q.Patterns[1], want1)
+	}
+}
+
+func TestParseDistinctStarLimitAsk(t *testing.T) {
+	q := MustParse(`PREFIX ex: <http://e/> SELECT DISTINCT * WHERE { ?s ?p ?o } LIMIT 10`)
+	if !q.Distinct || !q.Star || q.Limit != 10 {
+		t.Errorf("flags: distinct=%v star=%v limit=%d", q.Distinct, q.Star, q.Limit)
+	}
+	a := MustParse(`PREFIX ex: <http://e/> ASK { ex:a ex:p ex:b }`)
+	if a.Form != Ask {
+		t.Error("ASK not recognised")
+	}
+	if got := a.Projection(); len(got) != 0 {
+		t.Errorf("ASK projection = %v, want none", got)
+	}
+}
+
+func TestParsePropertyAndObjectLists(t *testing.T) {
+	q := MustParse(`PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:p ex:a , ex:b ; ex:q ?y ; a ex:C . }`)
+	if len(q.Patterns) != 4 {
+		t.Fatalf("got %d patterns, want 4: %v", len(q.Patterns), q.Patterns)
+	}
+}
+
+func TestParseLiteralsAndBlankNodes(t *testing.T) {
+	q := MustParse(`PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+PREFIX ex: <http://e/>
+SELECT ?x WHERE { ?x ex:name "Alice" . ?x ex:age "30"^^xsd:integer . ?x ex:label "hi"@en . ?x ex:p _:b }`)
+	if q.Patterns[0].O != rdf.NewLiteral("Alice") {
+		t.Errorf("plain literal: %v", q.Patterns[0].O)
+	}
+	if q.Patterns[1].O != rdf.NewTypedLiteral("30", rdf.XSDInteger) {
+		t.Errorf("typed literal: %v", q.Patterns[1].O)
+	}
+	if q.Patterns[2].O != rdf.NewLangLiteral("hi", "en") {
+		t.Errorf("lang literal: %v", q.Patterns[2].O)
+	}
+	// Blank nodes in queries become internal variables.
+	if !q.Patterns[3].O.IsVar() || q.Patterns[3].O.Value != "_:b" {
+		t.Errorf("blank node should parse as variable: %v", q.Patterns[3].O)
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	q := MustParse(`SELECT ?p WHERE { <http://e/a> ?p <http://e/b> }`)
+	if !q.Patterns[0].P.IsVar() {
+		t.Error("variable predicate not parsed")
+	}
+}
+
+func TestParseDollarVariables(t *testing.T) {
+	q := MustParse(`SELECT $x WHERE { $x a <http://e/C> }`)
+	if len(q.Vars) != 1 || q.Vars[0] != "x" {
+		t.Errorf("Vars = %v", q.Vars)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := MustParse(`# leading comment
+SELECT ?x # trailing
+WHERE { ?x a <http://e/C> } # end`)
+	if len(q.Patterns) != 1 {
+		t.Error("comments broke parsing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no form", `WHERE { ?x ?p ?o }`},
+		{"unterminated group", `SELECT ?x WHERE { ?x ?p ?o`},
+		{"missing brace", `SELECT ?x ?x ?p ?o }`},
+		{"projected var absent", `SELECT ?z WHERE { ?x ?p ?o }`},
+		{"empty pattern", `SELECT ?x WHERE { }`},
+		{"undeclared prefix", `SELECT ?x WHERE { ?x ex:p ?o }`},
+		{"literal subject", `SELECT ?x WHERE { "lit" ?p ?x }`},
+		{"literal predicate", `SELECT ?x WHERE { ?x "p" ?o }`},
+		{"bad limit", `SELECT ?x WHERE { ?x ?p ?o } LIMIT x`},
+		{"trailing garbage", `SELECT ?x WHERE { ?x ?p ?o } GARBAGE`},
+		{"no projection", `SELECT WHERE { ?x ?p ?o }`},
+		{"empty variable", `SELECT ? WHERE { ?x ?p ?o }`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) && !strings.Contains(err.Error(), "sparql:") {
+			t.Errorf("%s: unexpected error type %T: %v", c.name, err, err)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`PREFIX ex: <http://e/> SELECT ?x ?y WHERE { ?x ex:p ?y . ?y a ex:C } LIMIT 5`,
+		`SELECT DISTINCT * WHERE { ?s ?p ?o }`,
+		`PREFIX ex: <http://e/> ASK { ex:a ex:p "v" }`,
+	}
+	for _, src := range srcs {
+		q1 := MustParse(src)
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Errorf("re-parsing %q failed: %v", q1.String(), err)
+			continue
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip unstable:\n1: %s\n2: %s", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestPatternVarsAndProjection(t *testing.T) {
+	q := MustParse(`SELECT ?b WHERE { ?b <http://e/p> ?a . ?a <http://e/q> ?c }`)
+	vars := q.PatternVars()
+	if len(vars) != 3 || vars[0] != "a" || vars[1] != "b" || vars[2] != "c" {
+		t.Errorf("PatternVars = %v, want [a b c]", vars)
+	}
+	proj := q.Projection()
+	if len(proj) != 1 || proj[0] != "b" {
+		t.Errorf("Projection = %v, want [b]", proj)
+	}
+	star := MustParse(`SELECT * WHERE { ?x <http://e/p> ?y }`)
+	if got := star.Projection(); len(got) != 2 {
+		t.Errorf("star projection = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse(`PREFIX ex: <http://e/> SELECT ?x WHERE { ?x a ex:C }`)
+	c := q.Clone()
+	c.Patterns[0] = rdf.T(rdf.NewVar("y"), rdf.Type, rdf.NewIRI("http://e/D"))
+	c.Vars[0] = "z"
+	c.Prefixes["other"] = "http://o/"
+	if q.Patterns[0].S.Value != "x" || q.Vars[0] != "x" {
+		t.Error("mutating clone changed original")
+	}
+	if _, ok := q.Prefixes["other"]; ok {
+		t.Error("clone shares prefix map")
+	}
+}
+
+func TestKeywordBoundary(t *testing.T) {
+	// SELECTX must not be read as SELECT.
+	if _, err := Parse(`SELECTX ?x WHERE { ?x ?p ?o }`); err == nil {
+		t.Error("SELECTX parsed as SELECT")
+	}
+	// Case-insensitivity.
+	if _, err := Parse(`select ?x where { ?x ?p ?o } limit 3`); err != nil {
+		t.Errorf("lower-case keywords rejected: %v", err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package store implements the in-memory, dictionary-encoded triple store
+// that every reasoning and query-answering component of this repository runs
+// against. It plays the role of the "RDF database" in the paper: saturation
+// materialises entailed triples into it, reformulation evaluates rewritten
+// queries against it untouched.
+//
+// Triples are (S,P,O) tuples of dict.IDs. Three nested-map indexes (SPO,
+// POS, OSP) cover all eight triple-pattern shapes with at most one map walk,
+// the classic layout of Hexastore-style RDF stores reduced to the three
+// orders actually needed for pattern matching.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+)
+
+// Triple is a dictionary-encoded RDF triple. In pattern position, dict.None
+// (zero) acts as the "any" wildcard.
+type Triple struct {
+	S, P, O dict.ID
+}
+
+// String renders the encoded triple; mainly for debugging and test failure
+// messages (IDs, not terms).
+func (t Triple) String() string { return fmt.Sprintf("(%d %d %d)", t.S, t.P, t.O) }
+
+// Matches reports whether the concrete triple u matches the pattern t
+// (wildcards in t match anything).
+func (t Triple) Matches(u Triple) bool {
+	return (t.S == dict.None || t.S == u.S) &&
+		(t.P == dict.None || t.P == u.P) &&
+		(t.O == dict.None || t.O == u.O)
+}
+
+type idSet map[dict.ID]struct{}
+
+type index map[dict.ID]map[dict.ID]idSet
+
+func (ix index) add(a, b, c dict.ID) bool {
+	m, ok := ix[a]
+	if !ok {
+		m = make(map[dict.ID]idSet)
+		ix[a] = m
+	}
+	s, ok := m[b]
+	if !ok {
+		s = make(idSet)
+		m[b] = s
+	}
+	if _, ok := s[c]; ok {
+		return false
+	}
+	s[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c dict.ID) bool {
+	m, ok := ix[a]
+	if !ok {
+		return false
+	}
+	s, ok := m[b]
+	if !ok {
+		return false
+	}
+	if _, ok := s[c]; !ok {
+		return false
+	}
+	delete(s, c)
+	if len(s) == 0 {
+		delete(m, b)
+		if len(m) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// Store is an in-memory triple store. It is not safe for concurrent
+// mutation; concurrent read-only use is safe.
+type Store struct {
+	spo index // S -> P -> {O}
+	pos index // P -> O -> {S}
+	osp index // O -> S -> {P}
+
+	size      int
+	predCount map[dict.ID]int // triples per predicate, for the optimizer
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		spo:       make(index),
+		pos:       make(index),
+		osp:       make(index),
+		predCount: make(map[dict.ID]int),
+	}
+}
+
+// Add inserts the triple and reports whether it was new.
+func (s *Store) Add(t Triple) bool {
+	if t.S == dict.None || t.P == dict.None || t.O == dict.None {
+		panic("store: Add of triple with wildcard (None) component")
+	}
+	if !s.spo.add(t.S, t.P, t.O) {
+		return false
+	}
+	s.pos.add(t.P, t.O, t.S)
+	s.osp.add(t.O, t.S, t.P)
+	s.size++
+	s.predCount[t.P]++
+	return true
+}
+
+// Remove deletes the triple and reports whether it was present.
+func (s *Store) Remove(t Triple) bool {
+	if !s.spo.remove(t.S, t.P, t.O) {
+		return false
+	}
+	s.pos.remove(t.P, t.O, t.S)
+	s.osp.remove(t.O, t.S, t.P)
+	s.size--
+	if s.predCount[t.P]--; s.predCount[t.P] == 0 {
+		delete(s.predCount, t.P)
+	}
+	return true
+}
+
+// Contains reports whether the (fully concrete) triple is in the store.
+func (s *Store) Contains(t Triple) bool {
+	m, ok := s.spo[t.S]
+	if !ok {
+		return false
+	}
+	set, ok := m[t.P]
+	if !ok {
+		return false
+	}
+	_, ok = set[t.O]
+	return ok
+}
+
+// Len returns the number of triples in the store.
+func (s *Store) Len() int { return s.size }
+
+// ForEachMatch calls fn for every triple matching the pattern (None
+// components are wildcards); iteration stops early if fn returns false.
+// The store must not be mutated from inside fn.
+func (s *Store) ForEachMatch(pat Triple, fn func(Triple) bool) {
+	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
+	switch {
+	case bs && bp && bo:
+		if s.Contains(pat) {
+			fn(pat)
+		}
+	case bs && bp: // (s,p,?) via SPO
+		for o := range s.spo[pat.S][pat.P] {
+			if !fn(Triple{pat.S, pat.P, o}) {
+				return
+			}
+		}
+	case bp && bo: // (?,p,o) via POS
+		for sub := range s.pos[pat.P][pat.O] {
+			if !fn(Triple{sub, pat.P, pat.O}) {
+				return
+			}
+		}
+	case bs && bo: // (s,?,o) via OSP
+		for p := range s.osp[pat.O][pat.S] {
+			if !fn(Triple{pat.S, p, pat.O}) {
+				return
+			}
+		}
+	case bs: // (s,?,?) via SPO
+		for p, set := range s.spo[pat.S] {
+			for o := range set {
+				if !fn(Triple{pat.S, p, o}) {
+					return
+				}
+			}
+		}
+	case bp: // (?,p,?) via POS
+		for o, set := range s.pos[pat.P] {
+			for sub := range set {
+				if !fn(Triple{sub, pat.P, o}) {
+					return
+				}
+			}
+		}
+	case bo: // (?,?,o) via OSP
+		for sub, set := range s.osp[pat.O] {
+			for p := range set {
+				if !fn(Triple{sub, p, pat.O}) {
+					return
+				}
+			}
+		}
+	default: // full scan via SPO
+		for sub, m := range s.spo {
+			for p, set := range m {
+				for o := range set {
+					if !fn(Triple{sub, p, o}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Match returns all triples matching the pattern as a slice (convenience
+// wrapper over ForEachMatch; order is unspecified).
+func (s *Store) Match(pat Triple) []Triple {
+	var out []Triple
+	s.ForEachMatch(pat, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Count returns the exact number of triples matching the pattern. It is
+// O(1) for the (s,p,?), (?,p,o), (s,?,o) and fully-bound shapes, and walks
+// one index level for the single-bound shapes; the optimizer uses it for
+// selectivity estimation.
+func (s *Store) Count(pat Triple) int {
+	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
+	switch {
+	case bs && bp && bo:
+		if s.Contains(pat) {
+			return 1
+		}
+		return 0
+	case bs && bp:
+		return len(s.spo[pat.S][pat.P])
+	case bp && bo:
+		return len(s.pos[pat.P][pat.O])
+	case bs && bo:
+		return len(s.osp[pat.O][pat.S])
+	case bs:
+		n := 0
+		for _, set := range s.spo[pat.S] {
+			n += len(set)
+		}
+		return n
+	case bp:
+		return s.predCount[pat.P]
+	case bo:
+		n := 0
+		for _, set := range s.osp[pat.O] {
+			n += len(set)
+		}
+		return n
+	default:
+		return s.size
+	}
+}
+
+// Predicates returns the distinct predicate IDs currently used by at least
+// one triple. The reformulation candidate-enumeration step relies on this
+// being the complete property vocabulary of the graph.
+func (s *Store) Predicates() []dict.ID {
+	out := make([]dict.ID, 0, len(s.predCount))
+	for p := range s.predCount {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Objects returns the distinct objects of triples with predicate p (e.g.
+// the classes used in rdf:type triples when p is rdf:type).
+func (s *Store) Objects(p dict.ID) []dict.ID {
+	m := s.pos[p]
+	out := make([]dict.ID, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the store. Benchmarks use it to restore
+// state between destructive maintenance runs without re-parsing.
+func (s *Store) Clone() *Store {
+	c := New()
+	s.ForEachMatch(Triple{}, func(t Triple) bool {
+		c.Add(t)
+		return true
+	})
+	return c
+}

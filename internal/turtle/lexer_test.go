@@ -1,0 +1,134 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestLongStringEscapesAndNewlines(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://e/> .
+ex:a ex:p """line1
+line2 with "quotes" and \t tab""" .
+`)
+	want := rdf.NewLiteral("line1\nline2 with \"quotes\" and \t tab")
+	found := false
+	g.ForEach(func(tr rdf.Triple) bool {
+		if tr.O == want {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Errorf("long string parsed wrong: %v", g.Triples())
+	}
+}
+
+func TestUnicodeEscapes(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://e/> .
+ex:a ex:p "café" .
+ex:a ex:q "\U0001F600" .
+`)
+	if !g.Has(rdf.T(rdf.NewIRI("http://e/a"), rdf.NewIRI("http://e/p"), rdf.NewLiteral("café"))) {
+		t.Error("\\u escape failed")
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://e/a"), rdf.NewIRI("http://e/q"), rdf.NewLiteral("😀"))) {
+		t.Error("\\U escape failed")
+	}
+}
+
+func TestSparqlStyleBase(t *testing.T) {
+	g := mustParse(t, `
+BASE <http://base.org/>
+PREFIX ex: <http://e/>
+<rel> ex:p <other> .
+`)
+	if !g.Has(rdf.T(rdf.NewIRI("http://base.org/rel"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://base.org/other"))) {
+		t.Errorf("BASE keyword not applied: %v", g.Triples())
+	}
+}
+
+func TestLanguageTagWithSubtags(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://e/> .
+ex:a ex:p "colour"@en-GB-oed .
+`)
+	if !g.Has(rdf.T(rdf.NewIRI("http://e/a"), rdf.NewIRI("http://e/p"), rdf.NewLangLiteral("colour", "en-GB-oed"))) {
+		t.Errorf("subtag language lost: %v", g.Triples())
+	}
+}
+
+func TestInteriorDotsInLocalNames(t *testing.T) {
+	// a.b is one local name; the trailing dot ends the statement.
+	g := mustParse(t, `
+@prefix ex: <http://e/> .
+ex:a.b ex:p ex:c .
+`)
+	if !g.Has(rdf.T(rdf.NewIRI("http://e/a.b"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/c"))) {
+		t.Errorf("interior dot handling wrong: %v", g.Triples())
+	}
+}
+
+func TestLexerErrorCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unterminated long string", `@prefix ex: <http://e/> . ex:a ex:p """x`},
+		{"dangling escape in string", `@prefix ex: <http://e/> . ex:a ex:p "x\`},
+		{"bad unicode escape", `@prefix ex: <http://e/> . ex:a ex:p "\u00zz" .`},
+		{"truncated unicode escape", `@prefix ex: <http://e/> . ex:a ex:p "\u00a" .`},
+		{"single caret", `@prefix ex: <http://e/> . ex:a ex:p "x"^<http://dt> .`},
+		{"malformed number", `@prefix ex: <http://e/> . ex:a ex:p +x .`},
+		{"blank without colon", `@prefix ex: <http://e/> . _x ex:p ex:b .`},
+		{"empty blank label", `@prefix ex: <http://e/> . _: ex:p ex:b .`},
+		{"empty lang", `@prefix ex: <http://e/> . ex:a ex:p "x"@ .`},
+		{"lang bad subtag", `@prefix ex: <http://e/> . ex:a ex:p "x"@en- .`},
+		{"newline in short string", "@prefix ex: <http://e/> .\nex:a ex:p \"x\ny\" ."},
+		{"unknown escape", `@prefix ex: <http://e/> . ex:a ex:p "\q" .`},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNumbersWithSigns(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://e/> .
+ex:a ex:p +7 ; ex:q -2.5 .
+`)
+	if !g.Has(rdf.T(rdf.NewIRI("http://e/a"), rdf.NewIRI("http://e/p"), rdf.NewTypedLiteral("+7", rdf.XSDInteger))) {
+		t.Errorf("signed integer lost: %v", g.Triples())
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://e/a"), rdf.NewIRI("http://e/q"), rdf.NewTypedLiteral("-2.5", rdf.XSDDecimal))) {
+		t.Errorf("negative decimal lost: %v", g.Triples())
+	}
+}
+
+func TestWriterNonAbbreviableTerms(t *testing.T) {
+	// IRIs outside any declared prefix and locals with odd characters fall
+	// back to full form.
+	g := rdf.GraphOf(
+		rdf.T(rdf.NewIRI("http://other.org/x"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/with/slash")),
+	)
+	var sb strings.Builder
+	if err := Write(&sb, g, map[string]string{"ex": "http://e/"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "<http://other.org/x>") {
+		t.Errorf("foreign IRI should stay full:\n%s", out)
+	}
+	if !strings.Contains(out, "<http://e/with/slash>") {
+		t.Errorf("slash local must not abbreviate:\n%s", out)
+	}
+	back, err := ParseString(out)
+	if err != nil || !back.Equal(g) {
+		t.Errorf("writer output unparseable: %v\n%s", err, out)
+	}
+}

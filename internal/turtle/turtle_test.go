@@ -1,0 +1,216 @@
+package turtle
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func mustParse(t *testing.T, src string) *rdf.Graph {
+	t.Helper()
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return g
+}
+
+func TestParsePrefixesAndA(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://ex.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:tom a ex:Cat .
+ex:Cat rdfs:subClassOf ex:Mammal .
+`)
+	if g.Len() != 2 {
+		t.Fatalf("got %d triples, want 2", g.Len())
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://ex.org/tom"), rdf.Type, rdf.NewIRI("http://ex.org/Cat"))) {
+		t.Error("'a' keyword / prefix expansion failed")
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://ex.org/Cat"), rdf.SubClassOf, rdf.NewIRI("http://ex.org/Mammal"))) {
+		t.Error("rdfs:subClassOf triple missing")
+	}
+}
+
+func TestParseSparqlStylePrefix(t *testing.T) {
+	g := mustParse(t, `
+PREFIX ex: <http://ex.org/>
+ex:a ex:p ex:b .
+`)
+	if !g.Has(rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewIRI("http://ex.org/b"))) {
+		t.Error("SPARQL-style PREFIX not handled")
+	}
+}
+
+func TestParseSemicolonAndCommaLists(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://ex.org/> .
+ex:a ex:p ex:b , ex:c ;
+     ex:q "v" ;
+     a ex:C .
+`)
+	want := []rdf.Triple{
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewIRI("http://ex.org/b")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewIRI("http://ex.org/c")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/q"), rdf.NewLiteral("v")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.Type, rdf.NewIRI("http://ex.org/C")),
+	}
+	if g.Len() != len(want) {
+		t.Fatalf("got %d triples, want %d: %v", g.Len(), len(want), g.Triples())
+	}
+	for _, tr := range want {
+		if !g.Has(tr) {
+			t.Errorf("missing %v", tr)
+		}
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://ex.org/> .
+ex:a ex:p ex:b ; .
+`)
+	if g.Len() != 1 {
+		t.Fatalf("got %d triples, want 1", g.Len())
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	g := mustParse(t, `
+@prefix ex: <http://ex.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:p "plain" .
+ex:a ex:q "hi"@en-US .
+ex:a ex:r "7"^^xsd:integer .
+ex:a ex:s "esc\t\"x\"" .
+ex:a ex:n 42 .
+ex:a ex:d 3.14 .
+ex:a ex:m -5 .
+ex:a ex:b true .
+ex:a ex:long """multi
+line""" .
+`)
+	checks := []rdf.Triple{
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewLiteral("plain")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/q"), rdf.NewLangLiteral("hi", "en-US")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/r"), rdf.NewTypedLiteral("7", rdf.XSDInteger)),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/s"), rdf.NewLiteral("esc\t\"x\"")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/n"), rdf.NewTypedLiteral("42", rdf.XSDInteger)),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/d"), rdf.NewTypedLiteral("3.14", rdf.XSDDecimal)),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/m"), rdf.NewTypedLiteral("-5", rdf.XSDInteger)),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/b"), rdf.NewTypedLiteral("true", rdf.XSDBoolean)),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/long"), rdf.NewLiteral("multi\nline")),
+	}
+	for _, tr := range checks {
+		if !g.Has(tr) {
+			t.Errorf("missing %v\nparsed: %v", tr, g.Triples())
+		}
+	}
+}
+
+func TestParseBlankNodesAndBase(t *testing.T) {
+	g := mustParse(t, `
+@base <http://ex.org/> .
+@prefix ex: <http://ex.org/> .
+_:b1 ex:p <rel> .
+<abs> ex:q _:b1 .
+`)
+	if !g.Has(rdf.T(rdf.NewBlank("b1"), rdf.NewIRI("http://ex.org/p"), rdf.NewIRI("http://ex.org/rel"))) {
+		t.Errorf("base resolution or blank subject failed: %v", g.Triples())
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://ex.org/abs"), rdf.NewIRI("http://ex.org/q"), rdf.NewBlank("b1"))) {
+		t.Errorf("blank object failed: %v", g.Triples())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"undeclared prefix", `ex:a ex:p ex:b .`},
+		{"literal subject", `@prefix ex: <http://e/> . "x" ex:p ex:b .`},
+		{"missing dot", `@prefix ex: <http://e/> . ex:a ex:p ex:b`},
+		{"unterminated literal", `@prefix ex: <http://e/> . ex:a ex:p "x .`},
+		{"unterminated iri", `<http://a ex:p ex:b .`},
+		{"collection", `@prefix ex: <http://e/> . ex:a ex:p ( ex:b ) .`},
+		{"anon blank", `@prefix ex: <http://e/> . ex:a ex:p [ ex:q ex:b ] .`},
+		{"bareword", `@prefix ex: <http://e/> . ex:a ex:p frob .`},
+		{"literal predicate", `@prefix ex: <http://e/> . ex:a "p" ex:b .`},
+		{"bad prefix decl", `@prefix ex <http://e/> .`},
+		{"a as subject bareword", `a ex:p ex:b .`},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error, got none", c.name)
+			continue
+		}
+		var te *Error
+		if !errors.As(err, &te) {
+			t.Errorf("%s: error %T should be *turtle.Error", c.name, err)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := "@prefix ex: <http://e/> .\nex:a ex:p ex:b .\nex:a ex:p ( ) .\n"
+	_, err := ParseString(src)
+	var te *Error
+	if !errors.As(err, &te) {
+		t.Fatalf("want *turtle.Error, got %v", err)
+	}
+	if te.Line != 3 {
+		t.Errorf("error line = %d, want 3", te.Line)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	g := rdf.GraphOf(
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.Type, rdf.NewIRI("http://ex.org/C")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewIRI("http://ex.org/b")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/p"), rdf.NewLiteral("lit \"q\" \\ \n end")),
+		rdf.T(rdf.NewIRI("http://ex.org/C"), rdf.SubClassOf, rdf.NewIRI("http://ex.org/D")),
+		rdf.T(rdf.NewBlank("n1"), rdf.NewIRI("http://other.org/x"), rdf.NewLangLiteral("y", "de")),
+		rdf.T(rdf.NewIRI("http://ex.org/a"), rdf.NewIRI("http://ex.org/n"), rdf.NewTypedLiteral("9", rdf.XSDInteger)),
+	)
+	var buf bytes.Buffer
+	err := Write(&buf, g, map[string]string{
+		"ex":   "http://ex.org/",
+		"rdfs": rdf.RDFSNS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\noutput:\n%s", err, buf.String())
+	}
+	if !g.Equal(back) {
+		t.Errorf("round trip changed graph.\noutput:\n%s\nin:  %v\nout: %v",
+			buf.String(), g.Triples(), back.Triples())
+	}
+	// Output should actually use the prefix abbreviations.
+	if !strings.Contains(buf.String(), "ex:a") {
+		t.Errorf("writer did not abbreviate with declared prefixes:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), " a ex:C") {
+		t.Errorf("writer did not use the 'a' keyword:\n%s", buf.String())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	g := mustParse(t, `
+# full-line comment
+@prefix ex: <http://ex.org/> . # trailing
+ex:a ex:p ex:b . # another
+`)
+	if g.Len() != 1 {
+		t.Fatalf("got %d triples, want 1", g.Len())
+	}
+}

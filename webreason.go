@@ -1,0 +1,164 @@
+// Package webreason is the public API of this repository: query answering
+// over semantic-rich Web (RDF) data, reproducing "Reasoning on Web Data:
+// Algorithms and Performance" (Bursztyn, Goasdoué, Manolescu, Roatiş, ICDE
+// 2015).
+//
+// An RDF graph is loaded into a KB together with its RDFS constraints
+// (rdfs:subClassOf, rdfs:subPropertyOf, rdfs:domain, rdfs:range). Queries
+// are SPARQL basic graph patterns, and their answers are defined against
+// the graph's saturation G∞ — the implicit triples count. Three
+// interchangeable strategies compute those answers:
+//
+//	Saturation    — materialise G∞ once, evaluate directly, maintain
+//	                incrementally under updates (forward chaining).
+//	Reformulation — rewrite each query into a union q_ref with
+//	                q_ref(G) = q(G∞) and evaluate on the untouched graph.
+//	Backward      — derive entailed triples lazily during evaluation.
+//
+// The Thresholds and Advise helpers quantify when each choice wins, the
+// paper's Figure 3 analysis. See examples/ for runnable walkthroughs and
+// cmd/rdfbench for the full experiment suite.
+package webreason
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/lubm"
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+	"repro/internal/rdfio"
+	"repro/internal/reformulate"
+	"repro/internal/sparql"
+	"repro/internal/turtle"
+)
+
+// Re-exported model types. A Term is an IRI, literal, blank node or query
+// variable; a Triple is an (S,P,O) statement; a Graph is a set of triples.
+type (
+	Term   = rdf.Term
+	Triple = rdf.Triple
+	Graph  = rdf.Graph
+	// KB is a knowledge base: asserted triples plus entailment rules.
+	KB = core.KB
+	// Strategy answers queries w.r.t. RDF entailment; see New*Strategy.
+	Strategy = core.Strategy
+	// Query is a parsed SPARQL BGP query.
+	Query = sparql.Query
+	// UCQ is a reformulated query: a union of BGP queries.
+	UCQ = reformulate.UCQ
+	// Workload and CostModel feed the strategy advisor.
+	Workload = core.Workload
+	// CostModel aggregates measured unit costs.
+	CostModel = core.CostModel
+	// MaintenanceCosts and QueryCosts are the Figure 3 cost inputs.
+	MaintenanceCosts = core.MaintenanceCosts
+	QueryCosts       = core.QueryCosts
+	// Thresholds are the Figure 3 outputs for one query.
+	Thresholds = core.Thresholds
+)
+
+// Term constructors.
+var (
+	NewIRI          = rdf.NewIRI
+	NewLiteral      = rdf.NewLiteral
+	NewTypedLiteral = rdf.NewTypedLiteral
+	NewLangLiteral  = rdf.NewLangLiteral
+	NewBlank        = rdf.NewBlank
+	NewVar          = rdf.NewVar
+	T               = rdf.T
+	NewGraph        = rdf.NewGraph
+	GraphOf         = rdf.GraphOf
+)
+
+// RDFS vocabulary terms.
+var (
+	Type          = rdf.Type
+	SubClassOf    = rdf.SubClassOf
+	SubPropertyOf = rdf.SubPropertyOf
+	Domain        = rdf.Domain
+	Range         = rdf.Range
+)
+
+// NewKB returns an empty knowledge base with the RDFS rules of the DB
+// fragment of RDF.
+func NewKB() *KB { return core.NewKB() }
+
+// ParseQuery parses a SPARQL BGP query (SELECT or ASK).
+func ParseQuery(src string) (*Query, error) { return sparql.Parse(src) }
+
+// MustParseQuery parses a query known to be valid, panicking on error.
+func MustParseQuery(src string) *Query { return sparql.MustParse(src) }
+
+// ParseTurtle parses a Turtle document into a graph.
+func ParseTurtle(r io.Reader) (*Graph, error) { return turtle.Parse(r) }
+
+// ParseNTriples parses an N-Triples document into a graph.
+func ParseNTriples(r io.Reader) (*Graph, error) { return ntriples.Read(r) }
+
+// LoadFile loads an RDF file, dispatching on the extension (.nt, .ttl).
+func LoadFile(path string) (*Graph, error) { return rdfio.Load(path) }
+
+// SaveFile writes a graph, dispatching on the extension.
+func SaveFile(path string, g *Graph, prefixes map[string]string) error {
+	return rdfio.Save(path, g, prefixes)
+}
+
+// NewSaturationStrategy materialises the KB's closure and answers queries
+// against it.
+func NewSaturationStrategy(kb *KB) Strategy { return core.NewSaturation(kb) }
+
+// NewReformulationStrategy answers queries by run-time rewriting over the
+// untouched graph, with subsumption minimization of the union (the minimal
+// reformulations of [12]).
+func NewReformulationStrategy(kb *KB) Strategy {
+	return core.NewReformulation(kb, reformulate.Options{Minimize: true})
+}
+
+// NewBackwardStrategy answers queries by backward chaining during
+// evaluation.
+func NewBackwardStrategy(kb *KB) Strategy { return core.NewBackward(kb) }
+
+// NewStrategy builds a strategy by name: "saturation", "reformulation" or
+// "backward".
+func NewStrategy(name string, kb *KB) (Strategy, error) { return core.NewStrategy(name, kb) }
+
+// ComputeThresholds evaluates the Figure 3 arithmetic: how many executions
+// of a query amortise saturation (or one maintenance step) against
+// reformulation.
+func ComputeThresholds(m MaintenanceCosts, q QueryCosts) Thresholds {
+	return core.ComputeThresholds(m, q)
+}
+
+// Advise recommends the cheapest strategy for a workload mix given
+// measured unit costs (§II-D's "automatizing the choice").
+func Advise(cm CostModel, w Workload) core.Recommendation { return core.Advise(cm, w) }
+
+// Explain returns a human-readable proof tree showing why the triple is
+// entailed by the KB (OWLIM-style justification), or ok=false if it is not
+// entailed. The call saturates the KB, so it is meant for debugging and
+// teaching, not hot paths; hold on to a Saturation strategy for repeated
+// use.
+func Explain(kb *KB, t Triple) (proof string, ok bool) {
+	sat := core.NewSaturation(kb)
+	d := sat.Materialization().Explain(kb.Encode(t))
+	if d == nil {
+		return "", false
+	}
+	return d.Format(kb.Dict()), true
+}
+
+// LUBMOntology and LUBMGenerate expose the built-in evaluation workload: a
+// university ontology and deterministic data generator in the spirit of
+// LUBM, used by the paper's experiments.
+func LUBMOntology() *Graph { return lubm.Ontology() }
+
+// LUBMGenerate produces instance data at the given scale (universities ×
+// departments), deterministic in seed.
+func LUBMGenerate(universities, depts int, seed int64) *Graph {
+	cfg := lubm.DefaultConfig()
+	cfg.Universities = universities
+	cfg.DeptsPerUniv = depts
+	cfg.Seed = seed
+	return lubm.Generate(cfg)
+}

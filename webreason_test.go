@@ -1,0 +1,94 @@
+package webreason_test
+
+import (
+	"strings"
+	"testing"
+
+	webreason "repro"
+)
+
+// TestPublicAPITomExample drives the paper's Section I example end to end
+// through the façade only — the contract a downstream user relies on.
+func TestPublicAPITomExample(t *testing.T) {
+	g := webreason.GraphOf(
+		webreason.T(webreason.NewIRI("http://ex.org/tom"), webreason.Type, webreason.NewIRI("http://ex.org/Cat")),
+		webreason.T(webreason.NewIRI("http://ex.org/Cat"), webreason.SubClassOf, webreason.NewIRI("http://ex.org/Mammal")),
+	)
+	kb := webreason.NewKB()
+	if _, err := kb.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	q, err := webreason.ParseQuery(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Mammal }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"saturation", "reformulation", "backward"} {
+		s, err := webreason.NewStrategy(name, kb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := res.Decode(kb.Dict())
+		if len(rows) != 1 || rows[0][0] != webreason.NewIRI("http://ex.org/tom") {
+			t.Errorf("%s: mammals = %v, want tom", name, rows)
+		}
+	}
+}
+
+func TestPublicAPITurtleAndThresholds(t *testing.T) {
+	g, err := webreason.ParseTurtle(strings.NewReader(`
+@prefix ex: <http://ex.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:A rdfs:subClassOf ex:B .
+ex:x a ex:A .
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("parsed %d triples", g.Len())
+	}
+	th := webreason.ComputeThresholds(
+		webreason.MaintenanceCosts{Saturation: 100},
+		webreason.QueryCosts{EvalSaturated: 1, AnswerReformulated: 11},
+	)
+	if th.Saturation != 10 {
+		t.Errorf("threshold = %v, want 10", th.Saturation)
+	}
+	rec := webreason.Advise(webreason.CostModel{
+		Maintenance:        webreason.MaintenanceCosts{Saturation: 100},
+		EvalSaturated:      1,
+		AnswerReformulated: 11,
+	}, webreason.Workload{Queries: 1000})
+	if rec.Best != "saturation" {
+		t.Errorf("advise = %s", rec.Best)
+	}
+}
+
+func TestPublicAPILUBM(t *testing.T) {
+	g := webreason.LUBMGenerate(1, 1, 3)
+	if g.Len() == 0 {
+		t.Fatal("empty LUBM generation")
+	}
+	ont := webreason.LUBMOntology()
+	if len(ont.SchemaTriples()) != ont.Len() {
+		t.Error("ontology should be pure schema")
+	}
+	g.AddAll(ont)
+	kb := webreason.NewKB()
+	if _, err := kb.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	s := webreason.NewBackwardStrategy(kb)
+	q := webreason.MustParseQuery(`PREFIX lubm: <http://lubm.example.org/onto#> ASK { ?x a lubm:Person }`)
+	yes, err := s.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Error("no persons in LUBM data")
+	}
+}
