@@ -1,0 +1,25 @@
+# Development targets for the webreason reproduction.
+#
+#   make test    run the full tier-1 suite (build + all tests)
+#   make vet     static checks
+#   make bench   run the store + saturation benchmark families with -benchmem
+#                and append a labelled JSON record per family to
+#                BENCH_store.json (JSON Lines: one run object per line)
+
+GO ?= go
+BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+.PHONY: test vet bench
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkStore' -benchmem ./internal/store/ | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-store"
+	$(GO) test -run '^$$' -bench 'BenchmarkSaturate$$|BenchmarkQuerySaturation' -benchmem . | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-saturation"

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output on stdin into one JSON
+// record and appends it to a results file (default BENCH_store.json), so
+// benchmark history accumulates as JSON Lines: one self-contained run per
+// line, each with a label, timestamp and the parsed metrics per benchmark.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkStore -benchmem ./internal/store/ | \
+//	    go run ./cmd/benchjson -label after-packed-keys
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is the parsed form of one benchmark output line.
+type result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+// run is one appended record: a labelled set of results.
+type run struct {
+	Label   string   `json:"label"`
+	Date    string   `json:"date"`
+	Host    string   `json:"host,omitempty"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "", "label describing this run (e.g. before/after)")
+	out := flag.String("out", "BENCH_store.json", "results file to append to")
+	flag.Parse()
+
+	r := run{Label: *label, Date: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass output through so the run stays visible
+		if strings.HasPrefix(line, "cpu:") {
+			r.Host = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		r.Results = append(r.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(r.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found, nothing appended")
+		os.Exit(1)
+	}
+	f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended %d results to %s\n", len(r.Results), *out)
+}
+
+// parseLine parses one `go test -bench` result line of the form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   12 allocs/op
+//
+// (the -benchmem columns are optional).
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix, keeping sub-benchmark paths intact.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res := result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			res.BPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return res, res.NsPerOp > 0
+}

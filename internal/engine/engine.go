@@ -10,7 +10,6 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/dict"
 	"repro/internal/rdf"
@@ -48,6 +47,9 @@ type cpattern struct {
 type Compiled struct {
 	vars     []string
 	varIndex map[string]int
+	// patterns holds the compiled patterns in original BGP order, so
+	// patterns[i].idx == i: a PlanStep.PatternIndex indexes patterns
+	// directly.
 	patterns []cpattern
 	// impossible is set when some constant does not occur in the dictionary:
 	// no triple can match, the result is empty.
@@ -166,12 +168,18 @@ func (c *Compiled) plan(src Source) []PlanStep {
 				constPat.O = cp.o.id
 			}
 			cost := src.Count(constPat)
-			for _, s := range []slot{cp.s, cp.p, cp.o} {
-				if s.isVar && bound[s.v] {
-					// A bound variable behaves like a constant; assume it
-					// divides the candidate set substantially.
-					cost /= 4
-				}
+			// A bound variable behaves like a constant; assume it divides
+			// the candidate set substantially. (Checked per position rather
+			// than via a []slot temporary: this loop is O(patterns²) per
+			// query and must not allocate.)
+			if cp.s.isVar && bound[cp.s.v] {
+				cost /= 4
+			}
+			if cp.p.isVar && bound[cp.p.v] {
+				cost /= 4
+			}
+			if cp.o.isVar && bound[cp.o.v] {
+				cost /= 4
 			}
 			cost++
 			if bestCost < 0 || cost < bestCost {
@@ -180,10 +188,14 @@ func (c *Compiled) plan(src Source) []PlanStep {
 		}
 		chosen := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
-		for _, s := range []slot{chosen.s, chosen.p, chosen.o} {
-			if s.isVar {
-				bound[s.v] = true
-			}
+		if chosen.s.isVar {
+			bound[chosen.s.v] = true
+		}
+		if chosen.p.isVar {
+			bound[chosen.p.v] = true
+		}
+		if chosen.o.isVar {
+			bound[chosen.o.v] = true
 		}
 		steps = append(steps, PlanStep{PatternIndex: chosen.idx, EstimatedCost: bestCost})
 	}
@@ -209,35 +221,64 @@ func (c *Compiled) Eval(src Source) *Result {
 		return res
 	}
 	order := c.plan(src)
+	// patterns is in original BGP order (patterns[i].idx == i), so each plan
+	// step maps back to its compiled pattern by direct indexing (this used
+	// to be a quadratic nested scan over the patterns).
 	ordered := make([]cpattern, len(order))
 	for i, st := range order {
-		for _, cp := range c.patterns {
-			if cp.idx == st.PatternIndex {
-				ordered[i] = cp
-			}
-		}
+		ordered[i] = c.patterns[st.PatternIndex]
 	}
-	b := make([]dict.ID, len(c.vars))
+	w := len(c.vars)
+	b := make([]dict.ID, w)
+	// undo is a single shared stack of bound variable indexes; each join
+	// level remembers its mark and pops back to it, so the inner loop does
+	// not allocate a fresh undo slice per matched triple.
+	undo := make([]int, 0, 3*len(ordered))
+	// Result rows are carved out of chunked arenas: one allocation per
+	// rowChunk rows instead of one per row. Full chunks stay referenced by
+	// the rows sliced from them; only the unused tail of the last chunk is
+	// waste.
+	const rowChunk = 128
+	var arena []dict.ID
+	emit := func() {
+		if w == 0 {
+			res.Rows = append(res.Rows, nil)
+			return
+		}
+		if len(arena)+w > cap(arena) {
+			arena = make([]dict.ID, 0, rowChunk*w)
+		}
+		n := len(arena)
+		arena = arena[: n+w : cap(arena)]
+		row := arena[n : n+w : n+w]
+		copy(row, b)
+		res.Rows = append(res.Rows, row)
+	}
+	// One callback per join level, allocated up front: the per-triple inner
+	// loop then runs closure-allocation-free.
+	callbacks := make([]func(store.Triple) bool, len(ordered))
 	var rec func(depth int)
 	rec = func(depth int) {
 		if depth == len(ordered) {
-			row := make([]dict.ID, len(b))
-			copy(row, b)
-			res.Rows = append(res.Rows, row)
+			emit()
 			return
 		}
+		src.ForEachMatch(concrete(ordered[depth], b), callbacks[depth])
+	}
+	for depth := range callbacks {
 		cp := ordered[depth]
-		pat := concrete(cp, b)
-		src.ForEachMatch(pat, func(t store.Triple) bool {
-			var undo []int
+		next := depth + 1
+		callbacks[depth] = func(t store.Triple) bool {
+			mark := len(undo)
 			if bind(cp, t, b, &undo) {
-				rec(depth + 1)
+				rec(next)
 			}
-			for _, v := range undo {
+			for _, v := range undo[mark:] {
 				b[v] = dict.None
 			}
+			undo = undo[:mark]
 			return true
-		})
+		}
 	}
 	rec(0)
 	return res
@@ -254,9 +295,12 @@ func EvalBGP(src Source, patterns []rdf.Triple, d *dict.Dict) (*Result, error) {
 
 // Project returns a new result restricted to the named variables, in that
 // order. Unknown variables yield dict.None columns (used for reformulation
-// branches that fix a variable to a constant instead of binding it).
+// branches that fix a variable to a constant instead of binding it). When
+// the projection is the identity (same variables, same order), the rows are
+// shared with the receiver rather than copied.
 func (r *Result) Project(vars []string) *Result {
 	idx := make([]int, len(vars))
+	identity := len(vars) == len(r.Vars)
 	for i, v := range vars {
 		idx[i] = -1
 		for j, have := range r.Vars {
@@ -265,13 +309,31 @@ func (r *Result) Project(vars []string) *Result {
 				break
 			}
 		}
+		if idx[i] != i {
+			identity = false
+		}
 	}
 	out := &Result{Vars: append([]string(nil), vars...)}
+	if identity {
+		// Share the rows but copy the slice header, so in-place operations
+		// on the projection (Sort) cannot reorder the receiver.
+		out.Rows = append([][]dict.ID(nil), r.Rows...)
+		return out
+	}
+	// Projected rows are carved out of one flat arena: a single allocation
+	// for the whole result instead of one per row.
+	w := len(vars)
+	out.Rows = make([][]dict.ID, 0, len(r.Rows))
+	arena := make([]dict.ID, 0, w*len(r.Rows))
 	for _, row := range r.Rows {
-		nr := make([]dict.ID, len(vars))
+		n := len(arena)
+		arena = arena[: n+w : cap(arena)]
+		nr := arena[n : n+w : n+w]
 		for i, j := range idx {
 			if j >= 0 {
 				nr[i] = row[j]
+			} else {
+				nr[i] = dict.None
 			}
 		}
 		out.Rows = append(out.Rows, nr)
@@ -279,22 +341,62 @@ func (r *Result) Project(vars []string) *Result {
 	return out
 }
 
-// Distinct removes duplicate rows, preserving first-occurrence order.
+// Distinct removes duplicate rows, preserving first-occurrence order. Rows
+// are deduplicated on binary keys rather than formatted text: widths up to
+// three use fixed-size ID arrays as comparable map keys (no per-row
+// allocation at all); wider rows fall back to the raw little-endian bytes
+// of the IDs as a string key (unambiguous, since all rows of one result
+// have the same width).
 func (r *Result) Distinct() *Result {
-	seen := make(map[string]struct{}, len(r.Rows))
 	out := &Result{Vars: r.Vars}
-	var key strings.Builder
-	for _, row := range r.Rows {
-		key.Reset()
-		for _, id := range row {
-			fmt.Fprintf(&key, "%d,", id)
+	switch len(r.Vars) {
+	case 0:
+		if len(r.Rows) > 0 {
+			out.Rows = r.Rows[:1]
 		}
-		k := key.String()
-		if _, dup := seen[k]; dup {
-			continue
+	case 1:
+		seen := make(map[dict.ID]struct{}, len(r.Rows))
+		for _, row := range r.Rows {
+			if _, dup := seen[row[0]]; dup {
+				continue
+			}
+			seen[row[0]] = struct{}{}
+			out.Rows = append(out.Rows, row)
 		}
-		seen[k] = struct{}{}
-		out.Rows = append(out.Rows, row)
+	case 2:
+		seen := make(map[[2]dict.ID]struct{}, len(r.Rows))
+		for _, row := range r.Rows {
+			k := [2]dict.ID{row[0], row[1]}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Rows = append(out.Rows, row)
+		}
+	case 3:
+		seen := make(map[[3]dict.ID]struct{}, len(r.Rows))
+		for _, row := range r.Rows {
+			k := [3]dict.ID{row[0], row[1], row[2]}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Rows = append(out.Rows, row)
+		}
+	default:
+		seen := make(map[string]struct{}, len(r.Rows))
+		buf := make([]byte, 0, 4*len(r.Vars))
+		for _, row := range r.Rows {
+			buf = buf[:0]
+			for _, id := range row {
+				buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+			if _, dup := seen[string(buf)]; dup {
+				continue
+			}
+			seen[string(buf)] = struct{}{}
+			out.Rows = append(out.Rows, row)
+		}
 	}
 	return out
 }

@@ -21,6 +21,7 @@ type Counting struct {
 	rules []Rule
 
 	base map[store.Triple]struct{}
+	sc   scratch // reusable binding buffers for the join hot path
 	// derivations[t] = number of distinct rule instantiations over the
 	// current store concluding t.
 	derivations map[store.Triple]int
@@ -36,7 +37,7 @@ type Counting struct {
 // MaterializeCounting saturates g under rules, tracking derivation counts.
 func MaterializeCounting(g *store.Store, rules []Rule) *Counting {
 	c := &Counting{
-		st:          store.New(),
+		st:          store.NewWithCapacity(g.Len()),
 		rules:       rules,
 		base:        make(map[store.Triple]struct{}, g.Len()),
 		derivations: make(map[store.Triple]int),
@@ -87,7 +88,7 @@ func (c *Counting) propagate(delta []store.Triple) {
 			for ri := range c.rules {
 				r := &c.rules[ri]
 				for pos := 0; pos < 2; pos++ {
-					forEachInstantiation(c.st, r, pos, t, func(conc, partner store.Triple) {
+					forEachInstantiation(c.st, r, pos, t, &c.sc, func(conc, partner store.Triple) {
 						sp := c.seq[partner]
 						// Count the instantiation from the premise with the
 						// larger stamp; on equal stamps (partner == t) from
@@ -164,7 +165,7 @@ func (c *Counting) Delete(ts ...store.Triple) int {
 		for ri := range c.rules {
 			r := &c.rules[ri]
 			for pos := 0; pos < 2; pos++ {
-				forEachInstantiation(c.st, r, pos, t, func(conc, _ store.Triple) {
+				forEachInstantiation(c.st, r, pos, t, &c.sc, func(conc, _ store.Triple) {
 					if !c.st.Contains(conc) {
 						return
 					}

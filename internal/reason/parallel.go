@@ -28,7 +28,7 @@ func MaterializeParallel(g *store.Store, rules []Rule, workers int) *Materializa
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m := &Materialization{
-		st:    store.New(),
+		st:    store.NewWithCapacity(g.Len()),
 		base:  make(map[store.Triple]struct{}, g.Len()),
 		rules: rules,
 	}
@@ -74,12 +74,13 @@ func parallelRound(st *store.Store, rules []Rule, delta []store.Triple, workers 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			var sc scratch // per-worker binding buffers, no sharing across goroutines
 			local := map[store.Triple]struct{}{}
 			for _, t := range delta[lo:hi] {
 				for ri := range rules {
 					r := &rules[ri]
 					for pos := 0; pos < 2; pos++ {
-						forEachInstantiation(st, r, pos, t, func(c, _ store.Triple) {
+						forEachInstantiation(st, r, pos, t, &sc, func(c, _ store.Triple) {
 							if !st.Contains(c) {
 								local[c] = struct{}{}
 							}

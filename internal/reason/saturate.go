@@ -1,7 +1,6 @@
 package reason
 
 import (
-	"repro/internal/dict"
 	"repro/internal/store"
 )
 
@@ -15,6 +14,7 @@ type Materialization struct {
 	st    *store.Store
 	base  map[store.Triple]struct{}
 	rules []Rule
+	sc    scratch // reusable binding buffers for the join hot path
 
 	// Stats accumulates counters for the most recent operation.
 	Stats Stats
@@ -36,7 +36,7 @@ type Stats struct {
 // resulting materialization. The input store is not modified.
 func Materialize(g *store.Store, rules []Rule) *Materialization {
 	m := &Materialization{
-		st:    store.New(),
+		st:    store.NewWithCapacity(g.Len()),
 		base:  make(map[store.Triple]struct{}, g.Len()),
 		rules: rules,
 	}
@@ -86,21 +86,34 @@ func (m *Materialization) Clone() *Materialization {
 // forEachInstantiation enumerates, for a triple t playing premise position
 // pos of rule r, every rule instantiation against partner triples currently
 // in st; fn receives the instantiated conclusion and the partner premise.
-func forEachInstantiation(st *store.Store, r *Rule, pos int, t store.Triple, fn func(conclusion, partner store.Triple)) {
-	b := make([]dict.ID, r.NVars)
+// The binding vectors come from sc, so the call allocates nothing at steady
+// state; fn must not re-enter forEachInstantiation with the same scratch.
+//
+// Instantiations are buffered and fn runs only after the store enumeration
+// has finished: the store forbids mutation during ForEachMatch, and the
+// seminaive/propagate callbacks Add conclusions (which may land in the very
+// postings leaf being iterated). Conclusions added by fn therefore never
+// join the current enumeration — the semi-naive outer loop picks them up as
+// the next delta.
+func forEachInstantiation(st *store.Store, r *Rule, pos int, t store.Triple, sc *scratch, fn func(conclusion, partner store.Triple)) {
+	sc.grow(r.NVars)
+	b, b2 := sc.b, sc.b2
 	if !matchPattern(r.Premises[pos], t, b) {
 		return
 	}
 	other := 1 - pos
 	partnerPat := instantiate(r.Premises[other], b)
-	b2 := make([]dict.ID, r.NVars)
+	sc.pairs = sc.pairs[:0]
 	st.ForEachMatch(partnerPat, func(u store.Triple) bool {
 		copy(b2, b)
 		if matchPattern(r.Premises[other], u, b2) {
-			fn(instantiate(r.Conclusion, b2), u)
+			sc.pairs = append(sc.pairs, conclusionPartner{instantiate(r.Conclusion, b2), u})
 		}
 		return true
 	})
+	for _, cp := range sc.pairs {
+		fn(cp.conclusion, cp.partner)
+	}
 }
 
 // seminaive runs delta-driven forward chaining until fixpoint: each round,
@@ -115,7 +128,7 @@ func (m *Materialization) seminaive(delta []store.Triple) {
 			for ri := range m.rules {
 				r := &m.rules[ri]
 				for pos := 0; pos < 2; pos++ {
-					forEachInstantiation(m.st, r, pos, t, func(c, _ store.Triple) {
+					forEachInstantiation(m.st, r, pos, t, &m.sc, func(c, _ store.Triple) {
 						if m.st.Add(c) {
 							m.Stats.Derived++
 							next = append(next, c)
@@ -188,7 +201,7 @@ func (m *Materialization) Delete(ts ...store.Triple) int {
 		for ri := range m.rules {
 			r := &m.rules[ri]
 			for pos := 0; pos < 2; pos++ {
-				forEachInstantiation(m.st, r, pos, t, func(c, _ store.Triple) {
+				forEachInstantiation(m.st, r, pos, t, &m.sc, func(c, _ store.Triple) {
 					if _, dead := over[c]; dead {
 						return
 					}
@@ -227,27 +240,24 @@ func (m *Materialization) Delete(ts ...store.Triple) int {
 }
 
 // derivableOneStep reports whether some rule instantiation over the current
-// store concludes t.
+// store concludes t. It shares the materialization's scratch buffers (it is
+// never nested inside forEachInstantiation).
 func (m *Materialization) derivableOneStep(t store.Triple) bool {
 	for ri := range m.rules {
 		r := &m.rules[ri]
-		b := make([]dict.ID, r.NVars)
+		m.sc.grow(r.NVars)
+		b, b2, b3 := m.sc.b, m.sc.b2, m.sc.b3
 		if !matchPattern(r.Conclusion, t, b) {
-			for i := range b {
-				b[i] = dict.None
-			}
 			continue
 		}
 		found := false
 		p0 := instantiate(r.Premises[0], b)
-		b2 := make([]dict.ID, r.NVars)
 		m.st.ForEachMatch(p0, func(u store.Triple) bool {
 			copy(b2, b)
 			if !matchPattern(r.Premises[0], u, b2) {
 				return true
 			}
 			p1 := instantiate(r.Premises[1], b2)
-			b3 := make([]dict.ID, r.NVars)
 			m.st.ForEachMatch(p1, func(v store.Triple) bool {
 				copy(b3, b2)
 				if matchPattern(r.Premises[1], v, b3) && instantiate(r.Conclusion, b3) == t {
@@ -260,9 +270,6 @@ func (m *Materialization) derivableOneStep(t store.Triple) bool {
 		})
 		if found {
 			return true
-		}
-		for i := range b {
-			b[i] = dict.None
 		}
 	}
 	return false

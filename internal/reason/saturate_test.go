@@ -502,3 +502,98 @@ func TestExplainProofTree(t *testing.T) {
 		t.Error("empty formatted derivation")
 	}
 }
+
+// naiveClosure computes the fixpoint of rules over base by brute force:
+// repeatedly join every pair of triples under every rule via slices, no
+// iteration over a store that is being mutated. It is the oracle for
+// saturation correctness under rules whose conclusions land in the very
+// index leaves the semi-naive engine enumerates.
+func naiveClosure(base []store.Triple, rules []Rule) map[store.Triple]struct{} {
+	out := map[store.Triple]struct{}{}
+	for _, t := range base {
+		out[t] = struct{}{}
+	}
+	for changed := true; changed; {
+		changed = false
+		all := make([]store.Triple, 0, len(out))
+		for t := range out {
+			all = append(all, t)
+		}
+		for ri := range rules {
+			r := &rules[ri]
+			for _, t := range all {
+				b := make([]dict.ID, r.NVars)
+				if !matchPattern(r.Premises[0], t, b) {
+					continue
+				}
+				for _, u := range all {
+					b2 := make([]dict.ID, r.NVars)
+					copy(b2, b)
+					if !matchPattern(r.Premises[1], u, b2) {
+						continue
+					}
+					c := instantiate(r.Conclusion, b2)
+					if _, ok := out[c]; !ok {
+						out[c] = struct{}{}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestSaturateConclusionIntoIteratedLeaf exercises a user-defined rule whose
+// conclusion is inserted into the same postings leaf the join is currently
+// enumerating: premise 2 scans the (V1, p2, ?) leaf and the conclusion is
+// (V1, p2, K). The packed-key store forbids mutation during ForEachMatch,
+// so forEachInstantiation must buffer instantiations before applying them;
+// this test pins that behavior against a brute-force closure, with enough
+// objects in the leaf to cross the slice→set promotion threshold.
+func TestSaturateConclusionIntoIteratedLeaf(t *testing.T) {
+	const (
+		p1 = dict.ID(1)
+		p2 = dict.ID(2)
+		k  = dict.ID(99)
+	)
+	rule := Rule{
+		Name: "leaf-self-insert",
+		Premises: [2]Pattern{
+			{S: V(0), P: C(p1), O: V(1)},
+			{S: V(1), P: C(p2), O: V(2)},
+		},
+		Conclusion: Pattern{S: V(1), P: C(p2), O: C(k)},
+		NVars:      3,
+	}
+	if err := rule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base := []store.Triple{{S: 10, P: p1, O: 20}}
+	// Fill the (20, p2) leaf well past promoteAt so the enumeration spans
+	// both leaf representations.
+	for o := dict.ID(30); o < 30+40; o++ {
+		base = append(base, store.Triple{S: 20, P: p2, O: o})
+	}
+	g := store.New()
+	for _, tr := range base {
+		g.Add(tr)
+	}
+	want := naiveClosure(base, []Rule{rule})
+
+	for name, got := range map[string]*store.Store{
+		"materialize": Materialize(g, []Rule{rule}).Store(),
+		"counting":    MaterializeCounting(g, []Rule{rule}).Store(),
+		"parallel":    MaterializeParallel(g, []Rule{rule}, 2).Store(),
+	} {
+		if got.Len() != len(want) {
+			t.Errorf("%s: closure has %d triples, want %d", name, got.Len(), len(want))
+			continue
+		}
+		for tr := range want {
+			if !got.Contains(tr) {
+				t.Errorf("%s: closure missing %v", name, tr)
+			}
+		}
+	}
+}

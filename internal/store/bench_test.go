@@ -1,0 +1,136 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// benchTriples synthesises a LUBM-shaped workload: a few hot predicates,
+// many subjects, zipf-ish object sharing — so leaves span the sorted-slice
+// and promoted-set regimes the way a real graph does.
+func benchTriples(n int) []Triple {
+	rng := rand.New(rand.NewSource(1))
+	ts := make([]Triple, 0, n)
+	for len(ts) < n {
+		s := dict.ID(rng.Intn(n/4+1) + 100)
+		p := dict.ID(rng.Intn(16) + 1)
+		o := dict.ID(rng.Intn(n/8+1) + 50)
+		ts = append(ts, Triple{s, p, o})
+	}
+	return ts
+}
+
+func benchStore(n int) (*Store, []Triple) {
+	ts := benchTriples(n)
+	s := New()
+	s.AddBatch(ts)
+	return s, ts
+}
+
+func BenchmarkStoreAdd(b *testing.B) {
+	ts := benchTriples(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, t := range ts {
+			s.Add(t)
+		}
+	}
+}
+
+func BenchmarkStoreAddBatch(b *testing.B) {
+	ts := benchTriples(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.AddBatch(ts)
+	}
+}
+
+func BenchmarkStoreContains(b *testing.B) {
+	s, ts := benchStore(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Contains(ts[i%len(ts)]) {
+			b.Fatal("missing triple")
+		}
+	}
+}
+
+func BenchmarkStoreForEachMatchSP(b *testing.B) {
+	s, ts := benchStore(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		s.ForEachMatch(Triple{S: t.S, P: t.P}, func(Triple) bool {
+			n++
+			return true
+		})
+	}
+	if n == 0 {
+		b.Fatal("no matches")
+	}
+}
+
+func BenchmarkStoreForEachMatchP(b *testing.B) {
+	s, ts := benchStore(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEachMatch(Triple{P: ts[i%len(ts)].P}, func(Triple) bool {
+			n++
+			return true
+		})
+	}
+	if n == 0 {
+		b.Fatal("no matches")
+	}
+}
+
+func BenchmarkStoreCount(b *testing.B) {
+	s, ts := benchStore(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		n += s.Count(Triple{S: t.S})
+		n += s.Count(Triple{P: t.P})
+		n += s.Count(Triple{O: t.O})
+		n += s.Count(Triple{S: t.S, P: t.P})
+	}
+	if n == 0 {
+		b.Fatal("no counts")
+	}
+}
+
+func BenchmarkStoreRemoveAdd(b *testing.B) {
+	s, ts := benchStore(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		s.Remove(t)
+		s.Add(t)
+	}
+}
+
+func BenchmarkStoreClone(b *testing.B) {
+	s, _ := benchStore(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := s.Clone()
+		if c.Len() != s.Len() {
+			b.Fatal("bad clone")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"slices"
+
+	"repro/internal/dict"
+)
+
+// promoteAt is the leaf size at which a postings list switches from a sorted
+// slice to a hash set. Below it, membership is a short binary search over one
+// cache line or two and insertion is a memmove; above it, the hash set's O(1)
+// lookup wins. LUBM-style graphs keep the overwhelming majority of leaves
+// (objects per (s,p), subjects per (p,o), predicates per (o,s)) far below
+// this bound, so almost all leaves stay in the compact representation.
+const promoteAt = 16
+
+// postings is the leaf of a packed-key index: the set of third components c
+// for one (a,b) key pair. It starts as a small sorted []dict.ID and promotes
+// to a map past promoteAt elements; it never demotes (a leaf that grew once
+// is likely to grow again, and Remove-heavy workloads delete whole leaves
+// anyway).
+type postings struct {
+	small []dict.ID             // sorted; authoritative while set == nil
+	set   map[dict.ID]struct{} // non-nil once promoted
+}
+
+// add inserts c and reports whether it was new.
+func (p *postings) add(c dict.ID) bool {
+	if p.set != nil {
+		if _, ok := p.set[c]; ok {
+			return false
+		}
+		p.set[c] = struct{}{}
+		return true
+	}
+	i, ok := slices.BinarySearch(p.small, c)
+	if ok {
+		return false
+	}
+	if len(p.small) < promoteAt {
+		p.small = slices.Insert(p.small, i, c)
+		return true
+	}
+	p.set = make(map[dict.ID]struct{}, 2*promoteAt)
+	for _, v := range p.small {
+		p.set[v] = struct{}{}
+	}
+	p.small = nil
+	p.set[c] = struct{}{}
+	return true
+}
+
+// remove deletes c and reports whether it was present.
+func (p *postings) remove(c dict.ID) bool {
+	if p.set != nil {
+		if _, ok := p.set[c]; !ok {
+			return false
+		}
+		delete(p.set, c)
+		return true
+	}
+	i, ok := slices.BinarySearch(p.small, c)
+	if !ok {
+		return false
+	}
+	p.small = slices.Delete(p.small, i, i+1)
+	return true
+}
+
+// contains reports membership of c.
+func (p *postings) contains(c dict.ID) bool {
+	if p.set != nil {
+		_, ok := p.set[c]
+		return ok
+	}
+	_, ok := slices.BinarySearch(p.small, c)
+	return ok
+}
+
+// size returns the number of elements.
+func (p *postings) size() int {
+	if p.set != nil {
+		return len(p.set)
+	}
+	return len(p.small)
+}
+
+// forEach calls fn for every element; it returns false iff fn stopped the
+// iteration early.
+func (p *postings) forEach(fn func(dict.ID) bool) bool {
+	if p.set != nil {
+		for c := range p.set {
+			if !fn(c) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range p.small {
+		if !fn(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// clone returns an independent deep copy.
+func (p *postings) clone() *postings {
+	c := &postings{}
+	if p.set != nil {
+		c.set = make(map[dict.ID]struct{}, len(p.set))
+		for v := range p.set {
+			c.set[v] = struct{}{}
+		}
+		return c
+	}
+	c.small = slices.Clone(p.small)
+	return c
+}

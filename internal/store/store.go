@@ -4,10 +4,18 @@
 // materialises entailed triples into it, reformulation evaluates rewritten
 // queries against it untouched.
 //
-// Triples are (S,P,O) tuples of dict.IDs. Three nested-map indexes (SPO,
-// POS, OSP) cover all eight triple-pattern shapes with at most one map walk,
-// the classic layout of Hexastore-style RDF stores reduced to the three
-// orders actually needed for pattern matching.
+// Triples are (S,P,O) tuples of dict.IDs. Three packed-key two-level indexes
+// (SPO, POS, OSP) cover all eight triple-pattern shapes: each index maps a
+// single uint64 key (a<<32)|b to a compact postings leaf holding the third
+// components, so the two-constant pattern shapes — the hot shapes of rule
+// matching and index nested-loop joins — cost one hash lookup instead of the
+// two or three of a nested-map layout. A leaf starts as a small sorted
+// []dict.ID and promotes to a hash set past promoteAt elements, keeping the
+// common short leaf allocation-light and cache-friendly (the flat-layout
+// idea of RDF-3X-style engines, reduced to the three orders pattern matching
+// needs). Per-index side tables (a → present b values, a → triple count)
+// serve the single-constant shapes and make every Count O(1) except the
+// fully-unbound scan.
 package store
 
 import (
@@ -34,69 +42,122 @@ func (t Triple) Matches(u Triple) bool {
 		(t.O == dict.None || t.O == u.O)
 }
 
-type idSet map[dict.ID]struct{}
+// pack builds the packed two-level index key for (a, b).
+func pack(a, b dict.ID) uint64 { return uint64(a)<<32 | uint64(b) }
 
-type index map[dict.ID]map[dict.ID]idSet
+// index is one access order of the store: leaves maps the packed (a,b) key
+// to the set of third components, subs tracks which b values occur under
+// each a (for the single-constant pattern shapes), and counts tracks the
+// number of triples per a (making those shapes' Count O(1)).
+type index struct {
+	leaves map[uint64]*postings
+	subs   map[dict.ID]*postings
+	counts map[dict.ID]int
+}
 
-func (ix index) add(a, b, c dict.ID) bool {
-	m, ok := ix[a]
-	if !ok {
-		m = make(map[dict.ID]idSet)
-		ix[a] = m
+func newIndex(capHint int) index {
+	return index{
+		leaves: make(map[uint64]*postings, capHint),
+		subs:   make(map[dict.ID]*postings, capHint/4),
+		counts: make(map[dict.ID]int, capHint/4),
 	}
-	s, ok := m[b]
-	if !ok {
-		s = make(idSet)
-		m[b] = s
+}
+
+func (ix *index) add(a, b, c dict.ID) bool {
+	k := pack(a, b)
+	l := ix.leaves[k]
+	if l == nil {
+		l = &postings{}
+		ix.leaves[k] = l
+		sub := ix.subs[a]
+		if sub == nil {
+			sub = &postings{}
+			ix.subs[a] = sub
+		}
+		sub.add(b)
 	}
-	if _, ok := s[c]; ok {
+	if !l.add(c) {
 		return false
 	}
-	s[c] = struct{}{}
+	ix.counts[a]++
 	return true
 }
 
-func (ix index) remove(a, b, c dict.ID) bool {
-	m, ok := ix[a]
-	if !ok {
+func (ix *index) remove(a, b, c dict.ID) bool {
+	k := pack(a, b)
+	l := ix.leaves[k]
+	if l == nil || !l.remove(c) {
 		return false
 	}
-	s, ok := m[b]
-	if !ok {
-		return false
-	}
-	if _, ok := s[c]; !ok {
-		return false
-	}
-	delete(s, c)
-	if len(s) == 0 {
-		delete(m, b)
-		if len(m) == 0 {
-			delete(ix, a)
+	if l.size() == 0 {
+		delete(ix.leaves, k)
+		if sub := ix.subs[a]; sub != nil {
+			sub.remove(b)
+			if sub.size() == 0 {
+				delete(ix.subs, a)
+			}
 		}
 	}
+	if n := ix.counts[a] - 1; n == 0 {
+		delete(ix.counts, a)
+	} else {
+		ix.counts[a] = n
+	}
 	return true
+}
+
+// leaf returns the postings for (a,b), or nil.
+func (ix *index) leaf(a, b dict.ID) *postings { return ix.leaves[pack(a, b)] }
+
+func (ix *index) clone() index {
+	c := index{
+		leaves: make(map[uint64]*postings, len(ix.leaves)),
+		subs:   make(map[dict.ID]*postings, len(ix.subs)),
+		counts: make(map[dict.ID]int, len(ix.counts)),
+	}
+	for k, l := range ix.leaves {
+		c.leaves[k] = l.clone()
+	}
+	for a, sub := range ix.subs {
+		c.subs[a] = sub.clone()
+	}
+	for a, n := range ix.counts {
+		c.counts[a] = n
+	}
+	return c
 }
 
 // Store is an in-memory triple store. It is not safe for concurrent
 // mutation; concurrent read-only use is safe.
 type Store struct {
-	spo index // S -> P -> {O}
-	pos index // P -> O -> {S}
-	osp index // O -> S -> {P}
+	spo index // (s,p) -> {o}
+	pos index // (p,o) -> {s}
+	osp index // (o,s) -> {p}
 
-	size      int
-	predCount map[dict.ID]int // triples per predicate, for the optimizer
+	size int
 }
 
 // New returns an empty store.
-func New() *Store {
+func New() *Store { return NewWithCapacity(0) }
+
+// NewWithCapacity returns an empty store whose indexes are pre-sized for
+// roughly n triples, avoiding incremental map growth during bulk loads.
+func NewWithCapacity(n int) *Store {
 	return &Store{
-		spo:       make(index),
-		pos:       make(index),
-		osp:       make(index),
-		predCount: make(map[dict.ID]int),
+		spo: newIndex(n),
+		pos: newIndex(n),
+		osp: newIndex(n),
 	}
+}
+
+// Reserve pre-sizes an empty store's indexes for roughly n triples. On a
+// non-empty store it is a no-op (Go maps cannot grow in place without
+// rehashing the contents, and rebuilding would cost more than it saves).
+func (s *Store) Reserve(n int) {
+	if s.size > 0 || n <= 0 {
+		return
+	}
+	*s = *NewWithCapacity(n)
 }
 
 // Add inserts the triple and reports whether it was new.
@@ -110,8 +171,23 @@ func (s *Store) Add(t Triple) bool {
 	s.pos.add(t.P, t.O, t.S)
 	s.osp.add(t.O, t.S, t.P)
 	s.size++
-	s.predCount[t.P]++
 	return true
+}
+
+// AddBatch inserts a batch of triples, pre-sizing the indexes when the store
+// is empty, and returns the number that were new. It is the bulk-load entry
+// point for callers that already hold a triple slice; streaming loaders
+// (KB.LoadGraph, Materialize) get the same pre-sizing via Reserve and
+// NewWithCapacity instead.
+func (s *Store) AddBatch(ts []Triple) int {
+	s.Reserve(len(ts))
+	added := 0
+	for _, t := range ts {
+		if s.Add(t) {
+			added++
+		}
+	}
+	return added
 }
 
 // Remove deletes the triple and reports whether it was present.
@@ -122,24 +198,13 @@ func (s *Store) Remove(t Triple) bool {
 	s.pos.remove(t.P, t.O, t.S)
 	s.osp.remove(t.O, t.S, t.P)
 	s.size--
-	if s.predCount[t.P]--; s.predCount[t.P] == 0 {
-		delete(s.predCount, t.P)
-	}
 	return true
 }
 
 // Contains reports whether the (fully concrete) triple is in the store.
 func (s *Store) Contains(t Triple) bool {
-	m, ok := s.spo[t.S]
-	if !ok {
-		return false
-	}
-	set, ok := m[t.P]
-	if !ok {
-		return false
-	}
-	_, ok = set[t.O]
-	return ok
+	l := s.spo.leaf(t.S, t.P)
+	return l != nil && l.contains(t.O)
 }
 
 // Len returns the number of triples in the store.
@@ -156,55 +221,46 @@ func (s *Store) ForEachMatch(pat Triple, fn func(Triple) bool) {
 			fn(pat)
 		}
 	case bs && bp: // (s,p,?) via SPO
-		for o := range s.spo[pat.S][pat.P] {
-			if !fn(Triple{pat.S, pat.P, o}) {
-				return
-			}
+		if l := s.spo.leaf(pat.S, pat.P); l != nil {
+			l.forEach(func(o dict.ID) bool { return fn(Triple{pat.S, pat.P, o}) })
 		}
 	case bp && bo: // (?,p,o) via POS
-		for sub := range s.pos[pat.P][pat.O] {
-			if !fn(Triple{sub, pat.P, pat.O}) {
-				return
-			}
+		if l := s.pos.leaf(pat.P, pat.O); l != nil {
+			l.forEach(func(sub dict.ID) bool { return fn(Triple{sub, pat.P, pat.O}) })
 		}
 	case bs && bo: // (s,?,o) via OSP
-		for p := range s.osp[pat.O][pat.S] {
-			if !fn(Triple{pat.S, p, pat.O}) {
-				return
-			}
+		if l := s.osp.leaf(pat.O, pat.S); l != nil {
+			l.forEach(func(p dict.ID) bool { return fn(Triple{pat.S, p, pat.O}) })
 		}
 	case bs: // (s,?,?) via SPO
-		for p, set := range s.spo[pat.S] {
-			for o := range set {
-				if !fn(Triple{pat.S, p, o}) {
-					return
-				}
-			}
+		if sub := s.spo.subs[pat.S]; sub != nil {
+			sub.forEach(func(p dict.ID) bool {
+				return s.spo.leaf(pat.S, p).forEach(func(o dict.ID) bool {
+					return fn(Triple{pat.S, p, o})
+				})
+			})
 		}
 	case bp: // (?,p,?) via POS
-		for o, set := range s.pos[pat.P] {
-			for sub := range set {
-				if !fn(Triple{sub, pat.P, o}) {
-					return
-				}
-			}
+		if sub := s.pos.subs[pat.P]; sub != nil {
+			sub.forEach(func(o dict.ID) bool {
+				return s.pos.leaf(pat.P, o).forEach(func(subj dict.ID) bool {
+					return fn(Triple{subj, pat.P, o})
+				})
+			})
 		}
 	case bo: // (?,?,o) via OSP
-		for sub, set := range s.osp[pat.O] {
-			for p := range set {
-				if !fn(Triple{sub, p, pat.O}) {
-					return
-				}
-			}
+		if sub := s.osp.subs[pat.O]; sub != nil {
+			sub.forEach(func(subj dict.ID) bool {
+				return s.osp.leaf(pat.O, subj).forEach(func(p dict.ID) bool {
+					return fn(Triple{subj, p, pat.O})
+				})
+			})
 		}
-	default: // full scan via SPO
-		for sub, m := range s.spo {
-			for p, set := range m {
-				for o := range set {
-					if !fn(Triple{sub, p, o}) {
-						return
-					}
-				}
+	default: // full scan via SPO packed keys
+		for k, l := range s.spo.leaves {
+			subj, p := dict.ID(k>>32), dict.ID(k)
+			if !l.forEach(func(o dict.ID) bool { return fn(Triple{subj, p, o}) }) {
+				return
 			}
 		}
 	}
@@ -221,10 +277,10 @@ func (s *Store) Match(pat Triple) []Triple {
 	return out
 }
 
-// Count returns the exact number of triples matching the pattern. It is
-// O(1) for the (s,p,?), (?,p,o), (s,?,o) and fully-bound shapes, and walks
-// one index level for the single-bound shapes; the optimizer uses it for
-// selectivity estimation.
+// Count returns the exact number of triples matching the pattern. Every
+// shape except the fully-unbound one is O(1): the two-constant shapes read a
+// leaf size, the single-constant shapes read the per-index triple counters.
+// The optimizer leans on this for selectivity estimation.
 func (s *Store) Count(pat Triple) int {
 	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
 	switch {
@@ -234,25 +290,26 @@ func (s *Store) Count(pat Triple) int {
 		}
 		return 0
 	case bs && bp:
-		return len(s.spo[pat.S][pat.P])
+		if l := s.spo.leaf(pat.S, pat.P); l != nil {
+			return l.size()
+		}
+		return 0
 	case bp && bo:
-		return len(s.pos[pat.P][pat.O])
+		if l := s.pos.leaf(pat.P, pat.O); l != nil {
+			return l.size()
+		}
+		return 0
 	case bs && bo:
-		return len(s.osp[pat.O][pat.S])
+		if l := s.osp.leaf(pat.O, pat.S); l != nil {
+			return l.size()
+		}
+		return 0
 	case bs:
-		n := 0
-		for _, set := range s.spo[pat.S] {
-			n += len(set)
-		}
-		return n
+		return s.spo.counts[pat.S]
 	case bp:
-		return s.predCount[pat.P]
+		return s.pos.counts[pat.P]
 	case bo:
-		n := 0
-		for _, set := range s.osp[pat.O] {
-			n += len(set)
-		}
-		return n
+		return s.osp.counts[pat.O]
 	default:
 		return s.size
 	}
@@ -262,8 +319,8 @@ func (s *Store) Count(pat Triple) int {
 // one triple. The reformulation candidate-enumeration step relies on this
 // being the complete property vocabulary of the graph.
 func (s *Store) Predicates() []dict.ID {
-	out := make([]dict.ID, 0, len(s.predCount))
-	for p := range s.predCount {
+	out := make([]dict.ID, 0, len(s.pos.counts))
+	for p := range s.pos.counts {
 		out = append(out, p)
 	}
 	return out
@@ -272,21 +329,26 @@ func (s *Store) Predicates() []dict.ID {
 // Objects returns the distinct objects of triples with predicate p (e.g.
 // the classes used in rdf:type triples when p is rdf:type).
 func (s *Store) Objects(p dict.ID) []dict.ID {
-	m := s.pos[p]
-	out := make([]dict.ID, 0, len(m))
-	for o := range m {
-		out = append(out, o)
+	sub := s.pos.subs[p]
+	if sub == nil {
+		return nil
 	}
+	out := make([]dict.ID, 0, sub.size())
+	sub.forEach(func(o dict.ID) bool {
+		out = append(out, o)
+		return true
+	})
 	return out
 }
 
-// Clone returns a deep copy of the store. Benchmarks use it to restore
-// state between destructive maintenance runs without re-parsing.
+// Clone returns a deep copy of the store. It copies the index structures
+// directly instead of replaying Add triple by triple, so benchmarks can
+// restore state between destructive maintenance runs cheaply.
 func (s *Store) Clone() *Store {
-	c := New()
-	s.ForEachMatch(Triple{}, func(t Triple) bool {
-		c.Add(t)
-		return true
-	})
-	return c
+	return &Store{
+		spo:  s.spo.clone(),
+		pos:  s.pos.clone(),
+		osp:  s.osp.clone(),
+		size: s.size,
+	}
 }
