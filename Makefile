@@ -1,15 +1,18 @@
 # Development targets for the webreason reproduction.
 #
-#   make test    run the full tier-1 suite (build + all tests)
-#   make vet     static checks
-#   make bench   run the store + saturation benchmark families with -benchmem
-#                and append a labelled JSON record per family to
-#                BENCH_store.json (JSON Lines: one run object per line)
+#   make test         run the full tier-1 suite (build + all tests)
+#   make vet          static checks
+#   make bench        run every benchmark family with -benchmem and append a
+#                     labelled JSON record per family (JSON Lines: one run
+#                     object per line, with go version + GOMAXPROCS):
+#                       store primitives      -> BENCH_store.json
+#                       engine/query family   -> BENCH_query.json
+#   make bench-query  the engine/query + parallel-saturation family only
 
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: test vet bench
+.PHONY: test vet bench bench-query
 
 test:
 	$(GO) build ./...
@@ -18,8 +21,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-bench:
+bench: bench-query
 	$(GO) test -run '^$$' -bench 'BenchmarkStore' -benchmem ./internal/store/ | \
-		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-store"
-	$(GO) test -run '^$$' -bench 'BenchmarkSaturate$$|BenchmarkQuerySaturation' -benchmem . | \
-		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-saturation"
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-store" -out BENCH_store.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSaturate$$' -benchmem . | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-saturation" -out BENCH_store.json
+
+bench-query:
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery|BenchmarkSaturateParallel' -benchmem . | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-query" -out BENCH_query.json

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -29,20 +30,30 @@ type result struct {
 	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
 }
 
-// run is one appended record: a labelled set of results.
+// run is one appended record: a labelled set of results. GoVersion and
+// GOMAXPROCS capture the toolchain and parallelism the run executed under
+// (taken from this process, which `make bench` runs in the same environment
+// as the benchmarks), so historical records stay comparable.
 type run struct {
-	Label   string   `json:"label"`
-	Date    string   `json:"date"`
-	Host    string   `json:"host,omitempty"`
-	Results []result `json:"results"`
+	Label      string   `json:"label"`
+	Date       string   `json:"date"`
+	Host       string   `json:"host,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []result `json:"results"`
 }
 
 func main() {
 	label := flag.String("label", "", "label describing this run (e.g. before/after)")
-	out := flag.String("out", "BENCH_store.json", "results file to append to")
+	out := flag.String("out", "BENCH_store.json", "results file to append to (e.g. BENCH_query.json)")
 	flag.Parse()
 
-	r := run{Label: *label, Date: time.Now().UTC().Format(time.RFC3339)}
+	r := run{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()

@@ -98,6 +98,63 @@ func (b *Backward) Delete(ts ...rdf.Triple) error {
 // Len implements Strategy: only |G| is stored.
 func (b *Backward) Len() int { return b.data.Len() }
 
+// Prepare implements Strategy: the compiled plan is cached against the
+// current inferred view. The view is a plain Source (its matches are derived
+// lazily, not stored sorted), so prepared backward queries get plan caching
+// but no merge joins. Schema updates swap the view; the prepared query
+// detects the swap and replans.
+func (b *Backward) Prepare(q *sparql.Query) (PreparedQuery, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	pq := &backPrepared{b: b, q: q, proj: q.Projection()}
+	if err := pq.rebuild(); err != nil {
+		return nil, err
+	}
+	return pq, nil
+}
+
+type backPrepared struct {
+	b    *Backward
+	q    *sparql.Query
+	proj []string
+	view *inferredView
+	p    *engine.Prepared
+}
+
+func (pq *backPrepared) Query() *sparql.Query { return pq.q }
+
+func (pq *backPrepared) rebuild() error {
+	p, err := engine.Prepare(pq.b.view, pq.q.Patterns, pq.b.kb.dict)
+	if err != nil {
+		return err
+	}
+	pq.p = p
+	pq.view = pq.b.view
+	return nil
+}
+
+func (pq *backPrepared) Answer() (*engine.Result, error) {
+	if pq.view != pq.b.view {
+		if err := pq.rebuild(); err != nil {
+			return nil, err
+		}
+	}
+	res := pq.p.EvalDistinct(pq.proj)
+	if pq.q.Limit > 0 {
+		res = res.Limit(pq.q.Limit)
+	}
+	return res, nil
+}
+
+func (pq *backPrepared) Ask() (bool, error) {
+	res, err := pq.Answer()
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
 var _ Strategy = (*Backward)(nil)
 
 // inferredView is an engine.Source that behaves like G∞ without storing it.

@@ -61,6 +61,19 @@ func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
 	return id, ok
 }
 
+// Version returns a monotonically increasing counter that changes exactly
+// when a new ID is assigned. Since IDs are never reused or remapped, any
+// artifact compiled against the dictionary (a query plan, a cached
+// translation) stays valid while the version is unchanged; a version bump
+// means previously-unknown terms now resolve, so "constant not in
+// dictionary" conclusions must be re-checked. The dense ID assignment makes
+// the term count itself such a counter.
+func (d *Dict) Version() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return uint64(len(d.byID))
+}
+
 // Term returns the term with the given ID, if any.
 func (d *Dict) Term(id ID) (rdf.Term, bool) {
 	d.mu.RLock()

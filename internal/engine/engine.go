@@ -341,60 +341,103 @@ func (r *Result) Project(vars []string) *Result {
 	return out
 }
 
-// Distinct removes duplicate rows, preserving first-occurrence order. Rows
-// are deduplicated on binary keys rather than formatted text: widths up to
-// three use fixed-size ID arrays as comparable map keys (no per-row
-// allocation at all); wider rows fall back to the raw little-endian bytes
-// of the IDs as a string key (unambiguous, since all rows of one result
-// have the same width).
+// rowSet is a width-specialized set of binding rows, the shared dedup
+// machinery of Result.Distinct and Prepared's fused distinct. Rows are keyed
+// on binary values rather than formatted text: widths up to three use
+// fixed-size ID arrays as comparable map keys (no per-row allocation at
+// all); wider rows fall back to the raw little-endian bytes of the IDs as a
+// string key (unambiguous, since all rows of one set have the same width,
+// and costing one key allocation per distinct row). reset empties the set
+// but keeps the allocated buckets, so a reused set is allocation-free at
+// steady state.
+type rowSet struct {
+	w      int
+	seen1  map[dict.ID]struct{}
+	seen2  map[[2]dict.ID]struct{}
+	seen3  map[[3]dict.ID]struct{}
+	seenN  map[string]struct{}
+	keyBuf []byte
+}
+
+// newRowSet returns a set for rows of width w (w ≥ 1), sized for about hint
+// rows.
+func newRowSet(w, hint int) *rowSet {
+	s := &rowSet{w: w}
+	switch w {
+	case 1:
+		s.seen1 = make(map[dict.ID]struct{}, hint)
+	case 2:
+		s.seen2 = make(map[[2]dict.ID]struct{}, hint)
+	case 3:
+		s.seen3 = make(map[[3]dict.ID]struct{}, hint)
+	default:
+		s.seenN = make(map[string]struct{}, hint)
+		s.keyBuf = make([]byte, 0, 4*w)
+	}
+	return s
+}
+
+// add inserts the row, reporting whether it was new.
+func (s *rowSet) add(row []dict.ID) bool {
+	switch s.w {
+	case 1:
+		if _, dup := s.seen1[row[0]]; dup {
+			return false
+		}
+		s.seen1[row[0]] = struct{}{}
+	case 2:
+		k := [2]dict.ID{row[0], row[1]}
+		if _, dup := s.seen2[k]; dup {
+			return false
+		}
+		s.seen2[k] = struct{}{}
+	case 3:
+		k := [3]dict.ID{row[0], row[1], row[2]}
+		if _, dup := s.seen3[k]; dup {
+			return false
+		}
+		s.seen3[k] = struct{}{}
+	default:
+		buf := s.keyBuf[:0]
+		for _, id := range row {
+			buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		s.keyBuf = buf
+		if _, dup := s.seenN[string(buf)]; dup {
+			return false
+		}
+		s.seenN[string(buf)] = struct{}{}
+	}
+	return true
+}
+
+// reset empties the set, retaining the buckets.
+func (s *rowSet) reset() {
+	switch s.w {
+	case 1:
+		clear(s.seen1)
+	case 2:
+		clear(s.seen2)
+	case 3:
+		clear(s.seen3)
+	default:
+		clear(s.seenN)
+	}
+}
+
+// Distinct removes duplicate rows, preserving first-occurrence order; see
+// rowSet for the key scheme.
 func (r *Result) Distinct() *Result {
 	out := &Result{Vars: r.Vars}
-	switch len(r.Vars) {
-	case 0:
+	if len(r.Vars) == 0 {
 		if len(r.Rows) > 0 {
 			out.Rows = r.Rows[:1]
 		}
-	case 1:
-		seen := make(map[dict.ID]struct{}, len(r.Rows))
-		for _, row := range r.Rows {
-			if _, dup := seen[row[0]]; dup {
-				continue
-			}
-			seen[row[0]] = struct{}{}
-			out.Rows = append(out.Rows, row)
-		}
-	case 2:
-		seen := make(map[[2]dict.ID]struct{}, len(r.Rows))
-		for _, row := range r.Rows {
-			k := [2]dict.ID{row[0], row[1]}
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-			out.Rows = append(out.Rows, row)
-		}
-	case 3:
-		seen := make(map[[3]dict.ID]struct{}, len(r.Rows))
-		for _, row := range r.Rows {
-			k := [3]dict.ID{row[0], row[1], row[2]}
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-			out.Rows = append(out.Rows, row)
-		}
-	default:
-		seen := make(map[string]struct{}, len(r.Rows))
-		buf := make([]byte, 0, 4*len(r.Vars))
-		for _, row := range r.Rows {
-			buf = buf[:0]
-			for _, id := range row {
-				buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-			}
-			if _, dup := seen[string(buf)]; dup {
-				continue
-			}
-			seen[string(buf)] = struct{}{}
+		return out
+	}
+	seen := newRowSet(len(r.Vars), len(r.Rows))
+	for _, row := range r.Rows {
+		if seen.add(row) {
 			out.Rows = append(out.Rows, row)
 		}
 	}

@@ -5,6 +5,65 @@ import (
 	"repro/internal/engine"
 )
 
+// PreparedUCQ is a reformulated union with one prepared (compiled + planned)
+// engine plan per branch, so a repeatedly-asked query pays the rewriting and
+// planning once and each later execution only the join work. Build it with
+// UCQ.Prepare; it is bound to the source and dictionary given there and must
+// be rebuilt when the rewriting itself goes stale (schema change, vocabulary
+// growth) — the caller owns that invalidation, since only it sees schema
+// updates.
+type PreparedUCQ struct {
+	u         *UCQ
+	proj      []string
+	branches  []*engine.Prepared
+	fixedCols [][]int
+	fixedIDs  [][]dict.ID
+}
+
+// Prepare compiles every branch of the union against src and d.
+func (u *UCQ) Prepare(src engine.Source, d *dict.Dict) (*PreparedUCQ, error) {
+	pu := &PreparedUCQ{u: u, proj: u.Query.Projection()}
+	for _, br := range u.Branches {
+		p, err := engine.Prepare(src, br.Patterns, d)
+		if err != nil {
+			return nil, err
+		}
+		var cols []int
+		var ids []dict.ID
+		for i, v := range pu.proj {
+			if t, ok := br.Fixed[v]; ok {
+				if id, known := d.Lookup(t); known {
+					cols = append(cols, i)
+					ids = append(ids, id)
+				}
+			}
+		}
+		pu.branches = append(pu.branches, p)
+		pu.fixedCols = append(pu.fixedCols, cols)
+		pu.fixedIDs = append(pu.fixedIDs, ids)
+	}
+	return pu, nil
+}
+
+// Evaluate runs every prepared branch and unions the answers, deduplicated
+// over the original projection — the same result as UCQ.Evaluate with the
+// per-branch compile-and-plan cost amortised away. Each branch evaluates
+// with a fused projection+dedup, so only branch-distinct rows are
+// materialised before the cross-branch dedup.
+func (pu *PreparedUCQ) Evaluate() (*engine.Result, error) {
+	out := &engine.Result{Vars: pu.proj}
+	for bi, p := range pu.branches {
+		res := p.EvalDistinct(pu.proj)
+		for _, row := range res.Rows {
+			for k, col := range pu.fixedCols[bi] {
+				row[col] = pu.fixedIDs[bi][k]
+			}
+		}
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	return out.Distinct(), nil
+}
+
 // Evaluate runs the union against a triple source (normally the original,
 // unsaturated store whose schema component is closed) and returns the
 // deduplicated answer set over the original query's projection — the

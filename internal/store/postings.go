@@ -20,8 +20,13 @@ const promoteAt = 16
 // is likely to grow again, and Remove-heavy workloads delete whole leaves
 // anyway).
 type postings struct {
-	small []dict.ID             // sorted; authoritative while set == nil
+	small []dict.ID            // sorted; authoritative while set == nil
 	set   map[dict.ID]struct{} // non-nil once promoted
+	// sorted is a lazily-(re)built sorted snapshot of set, valid while
+	// sortedOK holds; it backs ordered iteration (merge joins) over promoted
+	// leaves without forcing every mutation to keep a sorted mirror.
+	sorted   []dict.ID
+	sortedOK bool
 }
 
 // add inserts c and reports whether it was new.
@@ -31,6 +36,7 @@ func (p *postings) add(c dict.ID) bool {
 			return false
 		}
 		p.set[c] = struct{}{}
+		p.sortedOK = false
 		return true
 	}
 	i, ok := slices.BinarySearch(p.small, c)
@@ -57,6 +63,7 @@ func (p *postings) remove(c dict.ID) bool {
 			return false
 		}
 		delete(p.set, c)
+		p.sortedOK = false
 		return true
 	}
 	i, ok := slices.BinarySearch(p.small, c)
@@ -102,6 +109,28 @@ func (p *postings) forEach(fn func(dict.ID) bool) bool {
 		}
 	}
 	return true
+}
+
+// sortedView returns the elements in ascending order as a slice the caller
+// must treat as read-only. For small leaves this is the authoritative sorted
+// slice, free of charge; for promoted leaves it is a snapshot rebuilt lazily
+// after mutations (the buffer is retained, so a stable leaf pays the sort
+// once). Rebuilding mutates the leaf, so concurrent callers must hold the
+// store's snapshot lock for promoted leaves — Store.SortedIDs does; do not
+// call this directly from new read paths without it.
+func (p *postings) sortedView() []dict.ID {
+	if p.set == nil {
+		return p.small
+	}
+	if !p.sortedOK {
+		p.sorted = p.sorted[:0]
+		for c := range p.set {
+			p.sorted = append(p.sorted, c)
+		}
+		slices.Sort(p.sorted)
+		p.sortedOK = true
+	}
+	return p.sorted
 }
 
 // clone returns an independent deep copy.

@@ -20,6 +20,7 @@ package store
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dict"
 )
@@ -135,6 +136,13 @@ type Store struct {
 	osp index // (o,s) -> {p}
 
 	size int
+
+	// sortMu serializes the lazy sorted-snapshot rebuilds of promoted
+	// leaves (SortedIDs), so sorted reads stay safe under the store's
+	// concurrent read-only contract. It is deliberately store-wide: rebuilds
+	// happen at most once per leaf per mutation batch, so contention is nil
+	// and per-leaf locks would waste memory on millions of leaves.
+	sortMu sync.Mutex
 }
 
 // New returns an empty store.
@@ -157,7 +165,9 @@ func (s *Store) Reserve(n int) {
 	if s.size > 0 || n <= 0 {
 		return
 	}
-	*s = *NewWithCapacity(n)
+	s.spo = newIndex(n)
+	s.pos = newIndex(n)
+	s.osp = newIndex(n)
 }
 
 // Add inserts the triple and reports whether it was new.
@@ -187,6 +197,72 @@ func (s *Store) AddBatch(ts []Triple) int {
 			added++
 		}
 	}
+	return added
+}
+
+// addBatchParallelMin is the batch size below which AddBatchParallel runs
+// sequentially: three goroutine handoffs cost more than a few hundred index
+// inserts.
+const addBatchParallelMin = 256
+
+// AddBatchParallel inserts every triple of the batches (their concatenation,
+// in order) using one writer goroutine per index order: the SPO, POS and OSP
+// maps are disjoint structures, so the three writers never share memory and
+// the batch costs one index-build wall-clock instead of three. It returns the
+// number of triples that were new. Duplicate triples — within the batches or
+// against the store — are absorbed index-locally exactly as Add absorbs
+// them, so no pre-deduplication is required for correctness (callers that
+// dedup anyway, like the parallel closure merge, just skip wasted probes).
+// The caller must ensure no concurrent access to the store during the call.
+func (s *Store) AddBatchParallel(batches ...[]Triple) int {
+	total := 0
+	for _, ts := range batches {
+		total += len(ts)
+		for _, t := range ts {
+			if t.S == dict.None || t.P == dict.None || t.O == dict.None {
+				panic("store: AddBatchParallel of triple with wildcard (None) component")
+			}
+		}
+	}
+	if total < addBatchParallelMin {
+		added := 0
+		for _, ts := range batches {
+			for _, t := range ts {
+				if s.Add(t) {
+					added++
+				}
+			}
+		}
+		return added
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, ts := range batches {
+			for _, t := range ts {
+				s.pos.add(t.P, t.O, t.S)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, ts := range batches {
+			for _, t := range ts {
+				s.osp.add(t.O, t.S, t.P)
+			}
+		}
+	}()
+	added := 0
+	for _, ts := range batches {
+		for _, t := range ts {
+			if s.spo.add(t.S, t.P, t.O) {
+				added++
+			}
+		}
+	}
+	wg.Wait()
+	s.size += added
 	return added
 }
 
@@ -264,6 +340,140 @@ func (s *Store) ForEachMatch(pat Triple, fn func(Triple) bool) {
 			}
 		}
 	}
+}
+
+// SortedIDs returns, in ascending order, the IDs occupying the single
+// wildcard position of pat, which must have exactly two bound positions (the
+// leaf shapes: (s,p,?), (?,p,o), (s,?,o)). ok is false when no triple
+// matches. The returned slice aliases store internals and must be treated as
+// read-only; it stays valid until the store is mutated.
+//
+// For promoted (hash-set) leaves the order comes from a lazily-maintained
+// snapshot rebuilt on first sorted access after a mutation; the rebuild is
+// internally synchronized, so SortedIDs is safe under the store's concurrent
+// read-only contract like every other read. Sorted-leaf access is what the
+// engine's merge-intersection joins build on.
+func (s *Store) SortedIDs(pat Triple) ([]dict.ID, bool) {
+	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
+	var l *postings
+	switch {
+	case bs && bp && !bo:
+		l = s.spo.leaf(pat.S, pat.P)
+	case bp && bo && !bs:
+		l = s.pos.leaf(pat.P, pat.O)
+	case bs && bo && !bp:
+		l = s.osp.leaf(pat.O, pat.S)
+	default:
+		panic("store: SortedIDs pattern must have exactly one wildcard position")
+	}
+	if l == nil {
+		return nil, false
+	}
+	if l.set == nil {
+		return l.small, true
+	}
+	s.sortMu.Lock()
+	ids := l.sortedView()
+	s.sortMu.Unlock()
+	return ids, true
+}
+
+// Cursor is a positioned iterator over one sorted postings leaf, obtained
+// from Postings. The zero Cursor is an exhausted cursor.
+type Cursor struct {
+	ids []dict.ID
+	pos int
+}
+
+// Postings returns a sorted cursor over the IDs matching the single
+// wildcard position of pat (same shape contract as SortedIDs). A pattern
+// with no matches yields an exhausted cursor.
+func (s *Store) Postings(pat Triple) Cursor {
+	ids, _ := s.SortedIDs(pat)
+	return Cursor{ids: ids}
+}
+
+// Len returns the number of IDs remaining at or after the cursor position.
+func (c *Cursor) Len() int { return len(c.ids) - c.pos }
+
+// Valid reports whether the cursor is positioned on an ID.
+func (c *Cursor) Valid() bool { return c.pos < len(c.ids) }
+
+// ID returns the current ID; the cursor must be Valid.
+func (c *Cursor) ID() dict.ID { return c.ids[c.pos] }
+
+// Next advances to the following ID.
+func (c *Cursor) Next() { c.pos++ }
+
+// SeekGE advances the cursor to the first ID ≥ id (possibly the current
+// one). It gallops: doubling probes from the current position, then a binary
+// search within the bracketed window, so k-way intersections over skewed
+// leaves cost O(small · log big) rather than a full scan.
+func (c *Cursor) SeekGE(id dict.ID) {
+	if !c.Valid() || c.ids[c.pos] >= id {
+		return
+	}
+	// Gallop to bracket id in (pos+lo/2, pos+lo].
+	lo, hi := 1, len(c.ids)-c.pos
+	for lo < hi && c.ids[c.pos+lo] < id {
+		lo *= 2
+	}
+	if lo > hi {
+		lo = hi
+	}
+	// Binary search in (pos + lo/2, pos + lo].
+	i, j := c.pos+lo/2+1, c.pos+lo
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if c.ids[m] < id {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	c.pos = i
+}
+
+// IntersectSorted appends the intersection of the ascending slices a and b
+// to dst and returns it — the merge step of the engine's sorted-leaf joins.
+// Similar-length inputs use a linear two-pointer merge; wildly skewed ones
+// walk the shorter slice and gallop through the longer with a cursor
+// (SeekGE), for O(small · log big).
+func IntersectSorted(dst, a, b []dict.ID) []dict.ID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= 16*len(a) {
+		c := Cursor{ids: b}
+		for _, x := range a {
+			c.SeekGE(x)
+			if !c.Valid() {
+				break
+			}
+			if c.ID() == x {
+				dst = append(dst, x)
+				c.Next()
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
 }
 
 // Match returns all triples matching the pattern as a slice (convenience

@@ -18,6 +18,21 @@
 // The Thresholds and Advise helpers quantify when each choice wins, the
 // paper's Figure 3 analysis. See examples/ for runnable walkthroughs and
 // cmd/rdfbench for the full experiment suite.
+//
+// # Prepared queries
+//
+// The paper's central trade-off assumes queries are asked repeatedly. For
+// that regime, Prepare compiles a query once against a strategy and returns
+// a PreparedQuery whose Answer/Ask reuse the cached plan on every call:
+// saturation and backward chaining skip per-call compilation and join
+// planning, and reformulation additionally caches the rewritten union with
+// one plan per union member. Prepared queries read the strategy's data live
+// and revalidate themselves (on dictionary growth, schema updates, or data
+// mutation), so they stay correct across Insert/Delete — steady-state
+// re-execution is allocation-free apart from the result itself.
+//
+//	pq, err := webreason.Prepare(strategy, q)
+//	for ... { res, err := pq.Answer() }
 package webreason
 
 import (
@@ -43,6 +58,9 @@ type (
 	KB = core.KB
 	// Strategy answers queries w.r.t. RDF entailment; see New*Strategy.
 	Strategy = core.Strategy
+	// PreparedQuery is a query compiled against one strategy for repeated
+	// execution; see Prepare.
+	PreparedQuery = core.PreparedQuery
 	// Query is a parsed SPARQL BGP query.
 	Query = sparql.Query
 	// UCQ is a reformulated query: a union of BGP queries.
@@ -122,6 +140,14 @@ func NewBackwardStrategy(kb *KB) Strategy { return core.NewBackward(kb) }
 // NewStrategy builds a strategy by name: "saturation", "reformulation" or
 // "backward".
 func NewStrategy(name string, kb *KB) (Strategy, error) { return core.NewStrategy(name, kb) }
+
+// Prepare compiles q against s for repeated execution. The returned
+// PreparedQuery caches the join plan (and, for reformulation, the rewritten
+// union) across Answer/Ask calls, revalidating automatically when the
+// strategy's data, schema or dictionary changes — use it whenever the same
+// query is asked more than a handful of times, the regime the paper's
+// Figure 3 thresholds reason about.
+func Prepare(s Strategy, q *Query) (PreparedQuery, error) { return s.Prepare(q) }
 
 // ComputeThresholds evaluates the Figure 3 arithmetic: how many executions
 // of a query amortise saturation (or one maintenance step) against

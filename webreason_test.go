@@ -38,6 +38,67 @@ func TestPublicAPITomExample(t *testing.T) {
 	}
 }
 
+// TestPublicAPIPrepare checks the prepared-query contract through the
+// façade for all three strategies: repeated executions agree with the
+// one-shot Answer, and updates — including ones that grow the dictionary —
+// are visible through an already-prepared query.
+func TestPublicAPIPrepare(t *testing.T) {
+	ex := func(n string) webreason.Term { return webreason.NewIRI("http://ex.org/" + n) }
+	g := webreason.GraphOf(
+		webreason.T(ex("tom"), webreason.Type, ex("Cat")),
+		webreason.T(ex("Cat"), webreason.SubClassOf, ex("Mammal")),
+		webreason.T(ex("rex"), webreason.Type, ex("Dog")),
+		webreason.T(ex("Dog"), webreason.SubClassOf, ex("Mammal")),
+	)
+	kb := webreason.NewKB()
+	if _, err := kb.LoadGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	q := webreason.MustParseQuery(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x a ex:Mammal }`)
+	for _, name := range []string{"saturation", "reformulation", "backward"} {
+		s, err := webreason.NewStrategy(name, kb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pq, err := webreason.Prepare(s, q)
+		if err != nil {
+			t.Fatalf("%s: Prepare: %v", name, err)
+		}
+		if pq.Query() != q {
+			t.Errorf("%s: Query() does not return the source query", name)
+		}
+		want, err := s.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			got, err := pq.Answer()
+			if err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			if len(got.Sort().Rows) != len(want.Sort().Rows) {
+				t.Fatalf("%s round %d: prepared %d rows, direct %d", name, round, len(got.Rows), len(want.Rows))
+			}
+		}
+		// An update with a brand-new term (dictionary growth) must be
+		// visible through the existing prepared query.
+		if err := s.Insert(webreason.T(ex("whiskers"+name), webreason.Type, ex("Cat"))); err != nil {
+			t.Fatal(err)
+		}
+		got, err := pq.Answer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != 3 {
+			t.Errorf("%s after insert: prepared query sees %d mammals, want 3", name, len(got.Rows))
+		}
+		ok, err := pq.Ask()
+		if err != nil || !ok {
+			t.Errorf("%s: Ask = %v, %v", name, ok, err)
+		}
+	}
+}
+
 func TestPublicAPITurtleAndThresholds(t *testing.T) {
 	g, err := webreason.ParseTurtle(strings.NewReader(`
 @prefix ex: <http://ex.org/> .
