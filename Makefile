@@ -1,25 +1,39 @@
 # Development targets for the webreason reproduction.
 #
-#   make test         run the full tier-1 suite (build + all tests)
-#   make vet          static checks
-#   make bench        run every benchmark family with -benchmem and append a
-#                     labelled JSON record per family (JSON Lines: one run
-#                     object per line, with go version + GOMAXPROCS):
-#                       store primitives      -> BENCH_store.json
-#                       engine/query family   -> BENCH_query.json
-#   make bench-query  the engine/query + parallel-saturation family only
+#   make test             run the full tier-1 suite (build + all tests)
+#   make test-race        the same suite under the race detector
+#   make vet              static checks
+#   make fuzz             run each parser fuzz target briefly (panic hunt)
+#   make bench            run every benchmark family with -benchmem and
+#                         append a labelled JSON record per family (JSON
+#                         Lines: one run object per line, with go version +
+#                         GOMAXPROCS):
+#                           store primitives      -> BENCH_store.json
+#                           engine/query family   -> BENCH_query.json
+#   make bench-query      the engine/query + parallel-saturation family only
+#   make bench-concurrent snapshot cost + server read throughput under
+#                         sustained writes -> BENCH_concurrent.json
 
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+FUZZTIME ?= 30s
 
-.PHONY: test vet bench bench-query
+.PHONY: test test-race vet fuzz bench bench-query bench-concurrent
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
 
+test-race:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzNTriples -fuzztime $(FUZZTIME) ./internal/ntriples/
+	$(GO) test -run '^$$' -fuzz FuzzTurtle -fuzztime $(FUZZTIME) ./internal/turtle/
+	$(GO) test -run '^$$' -fuzz FuzzSPARQL -fuzztime $(FUZZTIME) ./internal/sparql/
 
 bench: bench-query
 	$(GO) test -run '^$$' -bench 'BenchmarkStore' -benchmem ./internal/store/ | \
@@ -30,3 +44,10 @@ bench: bench-query
 bench-query:
 	$(GO) test -run '^$$' -bench 'BenchmarkQuery|BenchmarkSaturateParallel' -benchmem . | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-query" -out BENCH_query.json
+
+bench-concurrent:
+	$(GO) test -run '^$$' -bench 'BenchmarkStoreSnapshot|BenchmarkStoreCloneDepts6|BenchmarkServerReadThroughput' \
+		-benchtime 1s -benchmem . | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-concurrent" -out BENCH_concurrent.json
+	$(GO) run ./cmd/rdfserve -duration 3s -readers 4 -writers 1 -bench | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-serve" -out BENCH_concurrent.json

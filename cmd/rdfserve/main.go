@@ -1,0 +1,165 @@
+// Command rdfserve drives the snapshot-isolated serving layer under load:
+// it loads a LUBM-style knowledge base, wraps the chosen strategy in a
+// webreason.Server, and hammers it with N reader goroutines (each running a
+// prepared workload query in a loop) while M writer goroutines stream
+// insert/delete batches through the async mutation queue. At the end it
+// reports sustained read and write throughput plus per-query latency.
+//
+// Usage:
+//
+//	rdfserve -strategy saturation -readers 4 -writers 1 -duration 5s
+//	rdfserve -readers 16 -query Q5 -flush-every 128 -flush-interval 1ms
+//	rdfserve -bench | go run ./cmd/benchjson -out BENCH_concurrent.json
+//
+// With -bench the report is emitted as `go test -bench`-style lines, so it
+// pipes straight into cmd/benchjson for BENCH_concurrent.json records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	webreason "repro"
+	"repro/internal/core"
+	"repro/internal/lubm"
+)
+
+func main() {
+	strategy := flag.String("strategy", "saturation", "saturation|reformulation|backward")
+	universities := flag.Int("universities", 1, "LUBM scale factor")
+	depts := flag.Int("depts", 6, "departments per university")
+	readers := flag.Int("readers", 4, "concurrent reader goroutines")
+	writers := flag.Int("writers", 1, "concurrent writer goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "measurement length")
+	batch := flag.Int("batch", 16, "triples per writer Insert call")
+	flushEvery := flag.Int("flush-every", webreason.DefaultFlushEvery, "server mutation batch size")
+	flushInterval := flag.Duration("flush-interval", webreason.DefaultFlushInterval, "server mutation flush interval")
+	queryName := flag.String("query", "Q5", "workload query the readers execute")
+	benchOut := flag.Bool("bench", false, "emit go-bench-style lines for cmd/benchjson")
+	flag.Parse()
+
+	cfg := lubm.DefaultConfig()
+	cfg.Universities = *universities
+	cfg.DeptsPerUniv = *depts
+	kb := core.NewKB()
+	if _, err := kb.LoadGraph(lubm.GenerateWithOntology(cfg)); err != nil {
+		fatalf("loading LUBM graph: %v", err)
+	}
+	strat, err := webreason.NewStrategy(*strategy, kb)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var q *webreason.Query
+	for _, wq := range lubm.Queries() {
+		if wq.Name == *queryName {
+			q = wq.Parse()
+		}
+	}
+	if q == nil {
+		fatalf("unknown workload query %q", *queryName)
+	}
+
+	srv := webreason.NewServer(strat, webreason.ServerOptions{
+		FlushEvery:    *flushEvery,
+		FlushInterval: *flushInterval,
+	})
+	defer srv.Close()
+	pq, err := srv.Prepare(q)
+	if err != nil {
+		fatalf("preparing %s: %v", *queryName, err)
+	}
+	if _, err := pq.Answer(); err != nil {
+		fatalf("warmup: %v", err)
+	}
+
+	var queries, mutations atomic.Int64
+	var readNanos atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := pq.Answer(); err != nil {
+					fatalf("reader: %v", err)
+				}
+				readNanos.Add(time.Since(t0).Nanoseconds())
+				queries.Add(1)
+			}
+		}()
+	}
+	ex := func(w, g, i int) webreason.Term {
+		return webreason.NewIRI(fmt.Sprintf("http://load.example.org/%d-%d-%d", w, g, i))
+	}
+	for w := 0; w < *writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := webreason.NewIRI("http://load.example.org/p")
+			for gen := 0; ; gen++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts := make([]webreason.Triple, 0, *batch)
+				for i := 0; i < *batch; i++ {
+					ts = append(ts, webreason.T(ex(w, gen, i), p, ex(w, gen+1, i)))
+				}
+				if err := srv.Insert(ts...); err != nil {
+					fatalf("writer insert: %v", err)
+				}
+				if err := srv.Delete(ts...); err != nil {
+					fatalf("writer delete: %v", err)
+				}
+				mutations.Add(int64(2 * *batch))
+			}
+		}(w)
+	}
+
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	if err := srv.Flush(); err != nil {
+		fatalf("final flush: %v", err)
+	}
+
+	nq, nm := queries.Load(), mutations.Load()
+	secs := duration.Seconds()
+	nsPerQuery := float64(0)
+	if nq > 0 {
+		nsPerQuery = float64(readNanos.Load()) / float64(nq)
+	}
+	if *benchOut {
+		// go-bench-style lines: benchjson parses name, iterations, ns/op.
+		fmt.Printf("BenchmarkServeLoad/%s/%s/readers=%d/writers=%d \t%d\t%.0f ns/op\n",
+			*strategy, *queryName, *readers, *writers, nq, nsPerQuery)
+		if nm > 0 {
+			fmt.Printf("BenchmarkServeLoadWrites/%s/readers=%d/writers=%d \t%d\t%.0f ns/op\n",
+				*strategy, *readers, *writers, nm, secs*1e9/float64(nm))
+		}
+		return
+	}
+	fmt.Printf("strategy=%s query=%s readers=%d writers=%d duration=%s flushEvery=%d flushInterval=%s\n",
+		*strategy, *queryName, *readers, *writers, *duration, *flushEvery, *flushInterval)
+	fmt.Printf("  queries:   %d (%.0f/sec, mean latency %s)\n", nq, float64(nq)/secs, time.Duration(int64(nsPerQuery)))
+	fmt.Printf("  mutations: %d applied triples (%.0f/sec)\n", nm, float64(nm)/secs)
+	fmt.Printf("  store:     %d triples (%s)\n", srv.Len(), strat.Name())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rdfserve: "+format+"\n", args...)
+	os.Exit(1)
+}

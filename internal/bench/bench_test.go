@@ -48,7 +48,11 @@ func TestWorkbenchAndFig3Small(t *testing.T) {
 		t.Error("saturation cost not measured")
 	}
 	// Schema updates must cost more to maintain than instance updates —
-	// the core asymmetry behind Figure 3's series ordering.
+	// the core asymmetry behind Figure 3's series ordering. Log the measured
+	// costs so a flake leaves a diagnosable trail under -v.
+	t.Logf("maint: satur=%v instIns=%v instDel=%v schIns=%v schDel=%v",
+		res.Maintenance.Saturation, res.Maintenance.InstanceInsert, res.Maintenance.InstanceDelete,
+		res.Maintenance.SchemaInsert, res.Maintenance.SchemaDelete)
 	if res.Maintenance.SchemaInsert <= res.Maintenance.InstanceInsert {
 		t.Errorf("schema insert (%v) should cost more than instance insert (%v)",
 			res.Maintenance.SchemaInsert, res.Maintenance.InstanceInsert)

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/dict"
 	"repro/internal/engine"
 	"repro/internal/rdf"
@@ -15,10 +18,16 @@ import (
 // run-time reasoning of AllegroGraph's RDFS++ and Virtuoso's SPARQL
 // inference (§II-C) — no materialisation, no query rewriting, inference
 // interleaved with evaluation.
+//
+// The view reads an immutable store snapshot; a fresh view is swapped in
+// after every mutation batch, so reads racing updates see a consistent G.
 type Backward struct {
 	kb   *KB
 	data *store.Store
-	view *inferredView
+
+	// mu serializes mutation; cur is the immutable view readers use.
+	mu  sync.Mutex
+	cur atomic.Pointer[inferredView]
 }
 
 // NewBackward builds the strategy over a private copy of the KB's data.
@@ -31,9 +40,16 @@ func NewBackward(kb *KB) *Backward {
 // Name implements Strategy.
 func (b *Backward) Name() string { return "backward" }
 
+// reindex re-extracts the schema and publishes a fresh view. Writer-side.
 func (b *Backward) reindex() {
 	sch := schema.Extract(b.data, b.kb.voc)
-	b.view = &inferredView{st: b.data, sch: sch, voc: b.kb.voc}
+	b.cur.Store(&inferredView{st: b.data.Snapshot(), sch: sch, voc: b.kb.voc})
+}
+
+// republish swaps in a view over the current data, keeping the schema of the
+// previous view (no schema triple changed). Writer-side.
+func (b *Backward) republish() {
+	b.cur.Store(&inferredView{st: b.data.Snapshot(), sch: b.cur.Load().sch, voc: b.kb.voc})
 }
 
 // Answer implements Strategy: ordinary evaluation against the virtual view.
@@ -41,7 +57,7 @@ func (b *Backward) Answer(q *sparql.Query) (*engine.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := engine.EvalBGP(b.view, q.Patterns, b.kb.dict)
+	res, err := engine.EvalBGP(b.cur.Load(), q.Patterns, b.kb.dict)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +80,8 @@ func (b *Backward) Insert(ts ...rdf.Triple) error {
 	if err != nil {
 		return err
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	schemaTouched := false
 	for i, t := range enc {
 		b.data.Add(t)
@@ -73,6 +91,8 @@ func (b *Backward) Insert(ts ...rdf.Triple) error {
 	}
 	if schemaTouched {
 		b.reindex()
+	} else {
+		b.republish()
 	}
 	return nil
 }
@@ -83,6 +103,8 @@ func (b *Backward) Delete(ts ...rdf.Triple) error {
 	if err != nil {
 		return err
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	schemaTouched := false
 	for i, t := range enc {
 		if b.data.Remove(t) && ts[i].IsSchema() {
@@ -91,24 +113,27 @@ func (b *Backward) Delete(ts ...rdf.Triple) error {
 	}
 	if schemaTouched {
 		b.reindex()
+	} else {
+		b.republish()
 	}
 	return nil
 }
 
 // Len implements Strategy: only |G| is stored.
-func (b *Backward) Len() int { return b.data.Len() }
+func (b *Backward) Len() int { return b.cur.Load().st.Len() }
 
 // Prepare implements Strategy: the compiled plan is cached against the
 // current inferred view. The view is a plain Source (its matches are derived
 // lazily, not stored sorted), so prepared backward queries get plan caching
-// but no merge joins. Schema updates swap the view; the prepared query
-// detects the swap and replans.
+// but no merge joins. Mutation batches swap the view; the prepared query
+// follows data-only swaps with a cheap rebind (the engine replans on size
+// drift) and replans from scratch when the schema changed.
 func (b *Backward) Prepare(q *sparql.Query) (PreparedQuery, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	pq := &backPrepared{b: b, q: q, proj: q.Projection()}
-	if err := pq.rebuild(); err != nil {
+	if err := pq.rebuild(b.cur.Load()); err != nil {
 		return nil, err
 	}
 	return pq, nil
@@ -124,19 +149,22 @@ type backPrepared struct {
 
 func (pq *backPrepared) Query() *sparql.Query { return pq.q }
 
-func (pq *backPrepared) rebuild() error {
-	p, err := engine.Prepare(pq.b.view, pq.q.Patterns, pq.b.kb.dict)
+func (pq *backPrepared) rebuild(v *inferredView) error {
+	p, err := engine.Prepare(v, pq.q.Patterns, pq.b.kb.dict)
 	if err != nil {
 		return err
 	}
 	pq.p = p
-	pq.view = pq.b.view
+	pq.view = v
 	return nil
 }
 
 func (pq *backPrepared) Answer() (*engine.Result, error) {
-	if pq.view != pq.b.view {
-		if err := pq.rebuild(); err != nil {
+	if v := pq.b.cur.Load(); v != pq.view {
+		if v.sch == pq.view.sch {
+			pq.p.Rebind(v)
+			pq.view = v
+		} else if err := pq.rebuild(v); err != nil {
 			return nil, err
 		}
 	}
@@ -160,9 +188,11 @@ var _ Strategy = (*Backward)(nil)
 // inferredView is an engine.Source that behaves like G∞ without storing it.
 // Each match call unions the explicit matches with the entailed ones
 // reachable through the closed schema; a per-call set deduplicates triples
-// derivable several ways.
+// derivable several ways. The view is immutable — it reads a store snapshot
+// and a schema that are both frozen — so any number of evaluations may share
+// it concurrently.
 type inferredView struct {
-	st  *store.Store
+	st  *store.Snapshot
 	sch *schema.Schema
 	voc schema.Vocab
 }

@@ -55,6 +55,154 @@ func TestStrategiesAgreeOnRandomGraphs(t *testing.T) {
 	}
 }
 
+// TestStrategiesAgreeUnderInterleavedMutations extends the differential
+// property to the dynamic setting the paper (and the serving layer) cares
+// about: the same randomized mutation batches — instance and schema triples,
+// inserts and deletes — are applied to all three strategies, and after every
+// batch the strategies must still return identical certain answers on random
+// queries. Long-lived prepared queries ride along and must agree with fresh
+// evaluation at every step, which exercises every invalidation tier:
+// saturation's snapshot rebinding, reformulation's branch-level rebind
+// (data-only batches), its full re-reformulation (schema batches, vocabulary
+// growth) and backward's view swap.
+func TestStrategiesAgreeUnderInterleavedMutations(t *testing.T) {
+	const seeds = 12
+	for seed := int64(0); seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			g := randomGraph(rng)
+			kb := NewKB()
+			if _, err := kb.LoadGraph(g); err != nil {
+				t.Fatal(err)
+			}
+			strategies := []Strategy{
+				NewSaturation(kb),
+				NewReformulation(kb, reformulate.Options{}),
+				NewBackward(kb),
+			}
+
+			// Long-lived prepared queries, one per strategy per query.
+			pinnedQueries := []*sparql.Query{randomQuery(rng), randomQuery(rng)}
+			prepared := make([][]PreparedQuery, len(pinnedQueries))
+			for qi, q := range pinnedQueries {
+				for _, s := range strategies {
+					pq, err := s.Prepare(q)
+					if err != nil {
+						t.Fatalf("%s prepare %s: %v", s.Name(), q, err)
+					}
+					prepared[qi] = append(prepared[qi], pq)
+				}
+			}
+
+			// asserted tracks the current base graph for deletion draws.
+			asserted := g.Triples()
+			randomMutation := func() rdf.Triple {
+				switch rng.Intn(8) {
+				case 0: // schema: class hierarchy
+					return rdf.T(rc(rng), rdf.SubClassOf, rc(rng))
+				case 1: // schema: property constraint
+					if rng.Intn(2) == 0 {
+						return rdf.T(rp(rng), rdf.Domain, rc(rng))
+					}
+					return rdf.T(rp(rng), rdf.Range, rc(rng))
+				case 2, 3: // typing
+					return rdf.T(ri(rng), rdf.Type, rc(rng))
+				default: // property edge
+					return rdf.T(ri(rng), rp(rng), ri(rng))
+				}
+			}
+
+			for step := 0; step < 6; step++ {
+				var ins, del []rdf.Triple
+				for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+					ins = append(ins, randomMutation())
+				}
+				if len(asserted) > 0 && rng.Intn(3) > 0 {
+					for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+						del = append(del, asserted[rng.Intn(len(asserted))])
+					}
+				}
+				for _, s := range strategies {
+					if err := s.Insert(ins...); err != nil {
+						t.Fatalf("step %d: %s insert: %v", step, s.Name(), err)
+					}
+					if err := s.Delete(del...); err != nil {
+						t.Fatalf("step %d: %s delete: %v", step, s.Name(), err)
+					}
+				}
+				// Maintain the asserted set (order-insensitive).
+				present := map[rdf.Triple]bool{}
+				for _, tr := range asserted {
+					present[tr] = true
+				}
+				for _, tr := range ins {
+					present[tr] = true
+				}
+				for _, tr := range del {
+					delete(present, tr)
+				}
+				asserted = asserted[:0]
+				for tr := range present {
+					asserted = append(asserted, tr)
+				}
+
+				// Sizes must agree on what they model: saturation ≥ others.
+				if strategies[0].Len() < strategies[2].Len() {
+					t.Fatalf("step %d: |G∞| %d < |G| %d", step, strategies[0].Len(), strategies[2].Len())
+				}
+
+				// Fresh random queries: all strategies agree.
+				for qi := 0; qi < 4; qi++ {
+					q := randomQuery(rng)
+					var ref []string
+					for i, s := range strategies {
+						res, err := s.Answer(q)
+						if err != nil {
+							t.Fatalf("step %d: %s on %s: %v", step, s.Name(), q, err)
+						}
+						got := resultStrings(t, kb, res)
+						if i == 0 {
+							ref = got
+							continue
+						}
+						if strings.Join(got, "\n") != strings.Join(ref, "\n") {
+							t.Fatalf("step %d: divergence on %s\nins: %v\ndel: %v\nsaturation: %v\n%s: %v",
+								step, q, ins, del, ref, s.Name(), got)
+						}
+					}
+				}
+
+				// Pinned prepared queries: cached plans must track the data.
+				for qi, q := range pinnedQueries {
+					var ref []string
+					for i, s := range strategies {
+						fresh, err := s.Answer(q)
+						if err != nil {
+							t.Fatalf("step %d: %s fresh on %s: %v", step, s.Name(), q, err)
+						}
+						res, err := prepared[qi][i].Answer()
+						if err != nil {
+							t.Fatalf("step %d: %s prepared on %s: %v", step, s.Name(), q, err)
+						}
+						gotFresh := resultStrings(t, kb, fresh)
+						gotPrep := resultStrings(t, kb, res)
+						if strings.Join(gotFresh, "\n") != strings.Join(gotPrep, "\n") {
+							t.Fatalf("step %d: %s prepared diverges from fresh on %s\nfresh: %v\nprepared: %v",
+								step, s.Name(), q, gotFresh, gotPrep)
+						}
+						if i == 0 {
+							ref = gotPrep
+						} else if strings.Join(gotPrep, "\n") != strings.Join(ref, "\n") {
+							t.Fatalf("step %d: prepared divergence on %s\nsaturation: %v\n%s: %v",
+								step, q, ref, s.Name(), gotPrep)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // vocabulary pools for random generation.
 var (
 	rndClasses = []string{"A", "B", "C", "D", "E"}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/engine"
@@ -17,6 +19,13 @@ import (
 // set q(G∞) of BGP queries and maintains whatever it materialises when the
 // graph is updated. The three implementations mirror §II-B/§II-C of the
 // paper.
+// All three implementations follow a single-writer, multi-reader concurrency
+// model: Answer, Ask and Prepare route every read through an immutable
+// current-state pointer (store snapshots plus whatever derived structures the
+// technique keeps) that Insert/Delete swap atomically after each mutation
+// batch, so reads racing a mutation observe either the state before the whole
+// batch or after it, never a torn middle. Mutation calls themselves are
+// serialized internally; readers never block writers and vice versa.
 type Strategy interface {
 	// Name identifies the technique in reports.
 	Name() string
@@ -85,29 +94,41 @@ func encodeAll(kb *KB, ts []rdf.Triple) ([]store.Triple, error) {
 // closure G∞, maintained incrementally on updates (semi-naive insertion,
 // DRed deletion). This is the forward-chaining camp of §II-C (OWLIM, Oracle,
 // Jena/Sesame persistent inferencing).
+//
+// Reads evaluate against an immutable snapshot of G∞ swapped in after every
+// maintenance batch, so Answer/Ask/Prepare are safe to call concurrently
+// with (serialized) Insert/Delete.
 type Saturation struct {
 	kb  *KB
 	mat *reason.Materialization
+
+	// mu serializes maintenance; cur is the snapshot of G∞ readers use.
+	mu  sync.Mutex
+	cur atomic.Pointer[store.Snapshot]
 }
 
 // NewSaturation materialises the KB's closure. The KB's base store is
 // copied; later updates must go through this strategy.
 func NewSaturation(kb *KB) *Saturation {
-	return &Saturation{kb: kb, mat: reason.Materialize(kb.base, kb.rules)}
+	s := &Saturation{kb: kb, mat: reason.Materialize(kb.base, kb.rules)}
+	s.cur.Store(s.mat.Store().Snapshot())
+	return s
 }
 
 // Name implements Strategy.
 func (s *Saturation) Name() string { return "saturation" }
 
 // Materialization exposes the underlying materialisation (stats, explain).
+// Unlike the query path it is not snapshot-isolated: callers must not race
+// it with Insert/Delete.
 func (s *Saturation) Materialization() *reason.Materialization { return s.mat }
 
-// Answer implements Strategy by plain evaluation on G∞.
+// Answer implements Strategy by plain evaluation on the current G∞ snapshot.
 func (s *Saturation) Answer(q *sparql.Query) (*engine.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := engine.EvalBGP(s.mat.Store(), q.Patterns, s.kb.dict)
+	res, err := engine.EvalBGP(s.cur.Load(), q.Patterns, s.kb.dict)
 	if err != nil {
 		return nil, err
 	}
@@ -123,13 +144,18 @@ func (s *Saturation) Ask(q *sparql.Query) (bool, error) {
 	return len(res.Rows) > 0, nil
 }
 
-// Insert implements Strategy with incremental saturation maintenance.
+// Insert implements Strategy with incremental saturation maintenance. The
+// whole batch becomes visible to readers at once, when the post-maintenance
+// snapshot is swapped in.
 func (s *Saturation) Insert(ts ...rdf.Triple) error {
 	enc, err := encodeAll(s.kb, ts)
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.mat.Insert(enc...)
+	s.cur.Store(s.mat.Store().Snapshot())
 	return nil
 }
 
@@ -139,30 +165,34 @@ func (s *Saturation) Delete(ts ...rdf.Triple) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.mat.Delete(enc...)
+	s.cur.Store(s.mat.Store().Snapshot())
 	return nil
 }
 
-// Len implements Strategy: the size of G∞.
-func (s *Saturation) Len() int { return s.mat.Store().Len() }
+// Len implements Strategy: the size of G∞ (as of the current snapshot).
+func (s *Saturation) Len() int { return s.cur.Load().Len() }
 
-// Prepare implements Strategy: the compiled plan evaluates directly against
-// G∞ with a fused projection+dedup, so steady-state execution allocates only
-// the result rows. The materialised store is mutated in place by
-// Insert/Delete, so the prepared plan needs no strategy-level invalidation —
-// the engine revalidates on dictionary growth by itself.
+// Prepare implements Strategy: the compiled plan evaluates against the
+// strategy's current snapshot with a fused projection+dedup, so steady-state
+// execution allocates only the result rows. Each execution rebinds the plan
+// to the latest snapshot (a pointer swap when nothing changed); the engine
+// revalidates the plan on dictionary growth or >2x data-size drift.
 func (s *Saturation) Prepare(q *sparql.Query) (PreparedQuery, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := engine.Prepare(s.mat.Store(), q.Patterns, s.kb.dict)
+	p, err := engine.Prepare(s.cur.Load(), q.Patterns, s.kb.dict)
 	if err != nil {
 		return nil, err
 	}
-	return &satPrepared{q: q, proj: q.Projection(), p: p}, nil
+	return &satPrepared{s: s, q: q, proj: q.Projection(), p: p}, nil
 }
 
 type satPrepared struct {
+	s    *Saturation
 	q    *sparql.Query
 	proj []string
 	p    *engine.Prepared
@@ -171,6 +201,7 @@ type satPrepared struct {
 func (pq *satPrepared) Query() *sparql.Query { return pq.q }
 
 func (pq *satPrepared) Answer() (*engine.Result, error) {
+	pq.p.Rebind(pq.s.cur.Load())
 	res := pq.p.EvalDistinct(pq.proj)
 	if pq.q.Limit > 0 {
 		res = res.Limit(pq.q.Limit)
@@ -193,6 +224,10 @@ func (pq *satPrepared) Ask() (bool, error) {
 // Reformulation leaves the data untouched and rewrites queries at run time;
 // only the (small) schema closure is maintained, stored in an overlay so
 // instance updates cost O(1). This is the approach of [12], [19], [20].
+//
+// Reads (rewriting and evaluation) run against an immutable refState —
+// snapshots of data and overlay plus the schema they imply — swapped in
+// after every mutation batch.
 type Reformulation struct {
 	kb *KB
 	// data holds the asserted triples (the strategy's private copy of G).
@@ -202,9 +237,24 @@ type Reformulation struct {
 	schemaOverlay *store.Store
 	sch           *schema.Schema
 	opt           reformulate.Options
-	// gen counts mutations; prepared queries key their cached rewriting and
-	// plans on it (plus the dictionary version) and rebuild when it moves.
-	gen uint64
+	// schemaGen counts schema reclosures; prepared queries compare it (plus
+	// the published state pointer and the dictionary version) to pick
+	// between branch-level rebinding and a full re-reformulation.
+	schemaGen uint64
+
+	// mu serializes mutation; cur is the immutable state readers use.
+	mu  sync.Mutex
+	cur atomic.Pointer[refState]
+}
+
+// refState is one immutable read epoch of the reformulation strategy. A
+// fresh pointer is published after every mutation batch, so pointer
+// equality means "nothing changed"; schemaGen distinguishes data-only
+// batches (same schemaGen) from schema reclosures.
+type refState struct {
+	src       *unionSource
+	sch       *schema.Schema
+	schemaGen uint64
 }
 
 // NewReformulation builds the strategy; opt tunes the rewriting (zero value
@@ -212,6 +262,7 @@ type Reformulation struct {
 func NewReformulation(kb *KB, opt reformulate.Options) *Reformulation {
 	r := &Reformulation{kb: kb, data: kb.base.Clone(), opt: opt}
 	r.recloseSchema()
+	r.publish()
 	return r
 }
 
@@ -219,7 +270,7 @@ func NewReformulation(kb *KB, opt reformulate.Options) *Reformulation {
 func (r *Reformulation) Name() string { return "reformulation" }
 
 // recloseSchema recomputes the schema closure overlay; called after any
-// schema-triple update (cheap: schemas are small).
+// schema-triple update (cheap: schemas are small). Writer-side only.
 func (r *Reformulation) recloseSchema() {
 	overlay := store.New()
 	sch := schema.Extract(r.data, r.kb.voc)
@@ -232,25 +283,35 @@ func (r *Reformulation) recloseSchema() {
 	// The schema used for rewriting must be the closed one, extracted over
 	// data + overlay.
 	r.sch = schema.Extract(&unionSource{a: r.data, b: overlay}, r.kb.voc)
+	r.schemaGen++
 }
 
-// source returns the evaluation source: G with closed schema.
-func (r *Reformulation) source() *unionSource {
-	return &unionSource{a: r.data, b: r.schemaOverlay}
+// publish swaps in a fresh read state reflecting the writer's current data,
+// overlay and schema. Writer-side only.
+func (r *Reformulation) publish() {
+	r.cur.Store(&refState{
+		src:       &unionSource{a: r.data.Snapshot(), b: r.schemaOverlay.Snapshot()},
+		sch:       r.sch,
+		schemaGen: r.schemaGen,
+	})
 }
 
 // Reformulate exposes the rewriting of q (for -explain and experiment E6).
 func (r *Reformulation) Reformulate(q *sparql.Query) (*reformulate.UCQ, error) {
-	return reformulate.Reformulate(q, r.sch, r.kb.dict, r.source(), r.opt)
+	st := r.cur.Load()
+	return reformulate.Reformulate(q, st.sch, r.kb.dict, st.src, r.opt)
 }
 
-// Answer implements Strategy: rewrite, then evaluate the union on G.
+// Answer implements Strategy: rewrite, then evaluate the union on G — both
+// against the same immutable state, so a concurrent mutation cannot slip
+// between rewriting and evaluation.
 func (r *Reformulation) Answer(q *sparql.Query) (*engine.Result, error) {
-	ucq, err := r.Reformulate(q)
+	st := r.cur.Load()
+	ucq, err := reformulate.Reformulate(q, st.sch, r.kb.dict, st.src, r.opt)
 	if err != nil {
 		return nil, err
 	}
-	res, err := ucq.Evaluate(r.source(), r.kb.dict)
+	res, err := ucq.Evaluate(st.src, r.kb.dict)
 	if err != nil {
 		return nil, err
 	}
@@ -276,7 +337,8 @@ func (r *Reformulation) Insert(ts ...rdf.Triple) error {
 	if err != nil {
 		return err
 	}
-	r.gen++
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	schemaTouched := false
 	for i, t := range enc {
 		r.data.Add(t)
@@ -287,6 +349,7 @@ func (r *Reformulation) Insert(ts ...rdf.Triple) error {
 	if schemaTouched {
 		r.recloseSchema()
 	}
+	r.publish()
 	return nil
 }
 
@@ -296,7 +359,8 @@ func (r *Reformulation) Delete(ts ...rdf.Triple) error {
 	if err != nil {
 		return err
 	}
-	r.gen++
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	schemaTouched := false
 	for i, t := range enc {
 		if r.data.Remove(t) && ts[i].IsSchema() {
@@ -306,26 +370,31 @@ func (r *Reformulation) Delete(ts ...rdf.Triple) error {
 	if schemaTouched {
 		r.recloseSchema()
 	}
+	r.publish()
 	return nil
 }
 
 // Len implements Strategy: |G| plus the schema-closure overlay.
-func (r *Reformulation) Len() int { return r.data.Len() + r.schemaOverlay.Len() }
+func (r *Reformulation) Len() int { return r.cur.Load().src.Count(store.Triple{}) }
 
 // Prepare implements Strategy: the rewriting and the per-branch plans of the
-// union are cached and reused while the strategy's data, schema and
-// dictionary stay unchanged. Any mutation (or dictionary growth — a new
-// predicate enlarges the candidate vocabulary) invalidates the cache; the
-// next execution re-reformulates and re-prepares, then the steady state
-// resumes. That matches the paper's Figure 3 regime: reformulation's
-// per-query cost is rewriting + evaluation, and preparation amortises the
-// rewriting across repeated executions.
+// union are cached across executions with two invalidation tiers. A schema
+// change, dictionary growth, or — for rewritings that instantiated
+// class/property variables against the data vocabulary — any mutation
+// rebuilds the union from scratch, exactly as before. A data-only mutation
+// under a vocabulary-independent rewriting (the common case: all workload
+// queries with constant classes and properties) keeps the union and every
+// branch plan, merely rebinding the branches to the new snapshot; each
+// branch replans individually only when the data size drifts past the
+// engine's threshold. That closes the "reformulation rebuilds its whole
+// prepared union on any mutation" gap: update-heavy workloads pay one
+// pointer swap per branch instead of a full rewrite.
 func (r *Reformulation) Prepare(q *sparql.Query) (PreparedQuery, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	pq := &refPrepared{r: r, q: q}
-	if err := pq.rebuild(); err != nil {
+	if err := pq.rebuild(r.cur.Load()); err != nil {
 		return nil, err
 	}
 	return pq, nil
@@ -334,35 +403,55 @@ func (r *Reformulation) Prepare(q *sparql.Query) (PreparedQuery, error) {
 type refPrepared struct {
 	r    *Reformulation
 	q    *sparql.Query
-	gen  uint64
+	st   *refState // state the cached union was built (or last rebound) against
 	dver uint64
 	pu   *reformulate.PreparedUCQ
 }
 
 func (pq *refPrepared) Query() *sparql.Query { return pq.q }
 
-// rebuild re-reformulates and re-prepares the union against the current
-// schema, data and dictionary.
-func (pq *refPrepared) rebuild() error {
-	ucq, err := pq.r.Reformulate(pq.q)
+// rebuild re-reformulates and re-prepares the union against the given state
+// and the current dictionary. The dictionary version is read BEFORE the
+// rewriting: a concurrent writer may coin terms while we rebuild, and
+// stamping the older version merely costs one extra rebuild on the next
+// execution, whereas stamping the newer one would mark growth we never saw
+// as already-handled and skip a required rebuild forever.
+func (pq *refPrepared) rebuild(st *refState) error {
+	dver := pq.r.kb.dict.Version()
+	ucq, err := reformulate.Reformulate(pq.q, st.sch, pq.r.kb.dict, st.src, pq.r.opt)
 	if err != nil {
 		return err
 	}
-	pu, err := ucq.Prepare(pq.r.source(), pq.r.kb.dict)
+	pu, err := ucq.Prepare(st.src, pq.r.kb.dict)
 	if err != nil {
 		return err
 	}
 	pq.pu = pu
-	pq.gen = pq.r.gen
-	pq.dver = pq.r.kb.dict.Version()
+	pq.st = st
+	pq.dver = dver
 	return nil
 }
 
+// revalidate brings the cached union up to date with the strategy's current
+// state: no-op at steady state, branch-level rebind after data-only
+// mutations, full rebuild otherwise (see Prepare).
+func (pq *refPrepared) revalidate() error {
+	st := pq.r.cur.Load()
+	dver := pq.r.kb.dict.Version()
+	if st == pq.st && dver == pq.dver {
+		return nil
+	}
+	if dver == pq.dver && st.schemaGen == pq.st.schemaGen && !pq.pu.VocabDependent() {
+		pq.pu.Rebind(st.src)
+		pq.st = st
+		return nil
+	}
+	return pq.rebuild(st)
+}
+
 func (pq *refPrepared) Answer() (*engine.Result, error) {
-	if pq.gen != pq.r.gen || pq.dver != pq.r.kb.dict.Version() {
-		if err := pq.rebuild(); err != nil {
-			return nil, err
-		}
+	if err := pq.revalidate(); err != nil {
+		return nil, err
 	}
 	res, err := pq.pu.Evaluate()
 	if err != nil {
@@ -382,10 +471,18 @@ func (pq *refPrepared) Ask() (bool, error) {
 	return len(res.Rows) > 0, nil
 }
 
-// unionSource exposes two disjoint stores as one engine.Source /
+// storeView is the read-only store surface shared by *store.Store and
+// *store.Snapshot that composite sources build on: what the engine needs to
+// evaluate plus what reformulation needs to enumerate the vocabulary.
+type storeView interface {
+	engine.Source
+	reformulate.VocabularySource
+}
+
+// unionSource exposes two disjoint store views as one engine.Source /
 // reformulate.VocabularySource.
 type unionSource struct {
-	a, b *store.Store
+	a, b storeView
 }
 
 func (u *unionSource) ForEachMatch(pat store.Triple, fn func(store.Triple) bool) {

@@ -47,11 +47,14 @@ type pstep struct {
 // next evaluation transparently recompiles and replans — constants that did
 // not resolve before may now, and fresh statistics feed the optimizer.
 //
-// A Prepared is bound to one Source and one Dict. It reads the source live
-// on every evaluation, so data updates are always visible; only the join
-// order can go stale (it is refreshed on dictionary growth). Not safe for
-// concurrent use; evaluation results are independent of the Prepared and
-// stay valid indefinitely.
+// A Prepared is bound to one Source and one Dict (the source can be swapped
+// with Rebind — the snapshot-serving path does this on every epoch). It
+// reads the source live on every evaluation, so data updates are always
+// visible; only the join order can go stale, and it is refreshed on
+// dictionary growth or when the source size drifts more than replanDrift×
+// from what the optimizer planned against. Not safe for concurrent use;
+// evaluation results are independent of the Prepared and stay valid
+// indefinitely.
 type Prepared struct {
 	src      Source
 	ss       SortedSource // non-nil iff src supports sorted leaves
@@ -63,6 +66,9 @@ type Prepared struct {
 	steps     []pstep
 	planSteps []PlanStep
 	callbacks []func(store.Triple) bool
+	// planSize is the source's total size when the plan was last computed;
+	// the drift check compares against it on every refresh.
+	planSize int
 
 	// evaluation scratch, reused across calls
 	b       []dict.ID
@@ -97,11 +103,24 @@ func Prepare(src Source, patterns []rdf.Triple, d *dict.Dict) (*Prepared, error)
 	return p, nil
 }
 
+// replanDrift is the size-drift factor that invalidates a cached join plan:
+// once the source holds more than replanDrift× (or fewer than 1/replanDrift×)
+// the triples it was planned against, the optimizer's cardinality estimates
+// are stale enough that the greedy order may be badly wrong, so the plan is
+// recomputed against fresh statistics. Replanning is cheap (no recompilation,
+// no allocation churn beyond the step table), so the factor errs small.
+const replanDrift = 2
+
 // refresh recompiles and replans when the dictionary has grown since the
-// last compilation; otherwise it is a version check and nothing more.
+// last compilation, and replans (statistics only) when the source size has
+// drifted more than replanDrift× since the plan was computed; otherwise it
+// is a version check plus one O(1) Count and nothing more.
 func (p *Prepared) refresh() error {
 	v := p.d.Version()
 	if p.c != nil && v == p.version {
+		if n := p.src.Count(store.Triple{}); n > replanDrift*p.planSize || replanDrift*n < p.planSize {
+			p.replan()
+		}
 		return nil
 	}
 	c, err := Compile(p.patterns, p.d)
@@ -110,13 +129,41 @@ func (p *Prepared) refresh() error {
 	}
 	p.c = c
 	p.version = v
-	p.planSteps = c.plan(p.src)
-	p.buildSteps()
+	p.replan()
 	p.b = make([]dict.ID, len(c.vars))
 	if p.proj != nil {
 		p.setProjection(p.proj)
 	}
 	return nil
+}
+
+// replan recomputes the join order and step table against the source's
+// current statistics, recording the size the optimizer saw.
+func (p *Prepared) replan() {
+	p.planSize = p.src.Count(store.Triple{})
+	p.planSteps = p.c.plan(p.src)
+	p.buildSteps()
+}
+
+// Rebind points the prepared query at a different source — typically the
+// next snapshot of the same evolving dataset. The compiled patterns, join
+// plan and all scratch buffers are kept; the next evaluation revalidates the
+// plan against the new source's statistics via the usual drift check, so
+// rebinding across small mutation batches costs one pointer swap and one
+// O(1) Count. Rebinding to the already-bound source is a no-op. Rebinding
+// across a sorted-capability change (SortedSource ⇄ plain Source) rebuilds
+// the step table, since merge-intersection groups exist only for sorted
+// sources.
+func (p *Prepared) Rebind(src Source) {
+	if src == p.src {
+		return
+	}
+	hadSorted := p.ss != nil
+	p.src = src
+	p.ss, _ = src.(SortedSource)
+	if p.c != nil && hadSorted != (p.ss != nil) {
+		p.buildSteps()
+	}
 }
 
 // soleUnbound inspects cp under bound: if exactly one slot holds an unbound

@@ -134,7 +134,7 @@ func (p *lineParser) iri() (rdf.Term, error) {
 	if iri == "" {
 		return rdf.Term{}, p.errf("empty IRI")
 	}
-	return rdf.NewIRI(unescape(iri)), nil
+	return rdf.NewIRI(rdf.UnescapeIRI(iri)), nil
 }
 
 func (p *lineParser) blank() (rdf.Term, error) {
@@ -175,7 +175,7 @@ func (p *lineParser) literal() (rdf.Term, error) {
 			if i+1 >= len(p.s) {
 				return rdf.Term{}, p.errf("dangling escape")
 			}
-			esc, n, err := decodeEscape(p.s[i:])
+			esc, n, err := rdf.DecodeEscape(p.s[i:])
 			if err != nil {
 				return rdf.Term{}, p.errf("%v", err)
 			}
@@ -218,76 +218,6 @@ func (p *lineParser) literal() (rdf.Term, error) {
 
 func isAlnum(c byte) bool {
 	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
-}
-
-// decodeEscape decodes one backslash escape at the start of s, returning the
-// decoded text and the number of input bytes consumed.
-func decodeEscape(s string) (string, int, error) {
-	// s[0] == '\\'
-	switch s[1] {
-	case 't':
-		return "\t", 2, nil
-	case 'n':
-		return "\n", 2, nil
-	case 'r':
-		return "\r", 2, nil
-	case '"':
-		return `"`, 2, nil
-	case '\\':
-		return `\`, 2, nil
-	case 'u', 'U':
-		digits := 4
-		if s[1] == 'U' {
-			digits = 8
-		}
-		if len(s) < 2+digits {
-			return "", 0, fmt.Errorf("truncated \\%c escape", s[1])
-		}
-		var code rune
-		for _, c := range s[2 : 2+digits] {
-			v := hexVal(byte(c))
-			if v < 0 {
-				return "", 0, fmt.Errorf("invalid hex digit %q in unicode escape", c)
-			}
-			code = code<<4 | rune(v)
-		}
-		return string(code), 2 + digits, nil
-	default:
-		return "", 0, fmt.Errorf("unknown escape \\%c", s[1])
-	}
-}
-
-func hexVal(c byte) int {
-	switch {
-	case c >= '0' && c <= '9':
-		return int(c - '0')
-	case c >= 'a' && c <= 'f':
-		return int(c-'a') + 10
-	case c >= 'A' && c <= 'F':
-		return int(c-'A') + 10
-	default:
-		return -1
-	}
-}
-
-// unescape decodes \uXXXX / \UXXXXXXXX escapes inside IRIs.
-func unescape(s string) string {
-	if !strings.ContainsRune(s, '\\') {
-		return s
-	}
-	var b strings.Builder
-	for i := 0; i < len(s); {
-		if s[i] == '\\' && i+1 < len(s) {
-			if dec, n, err := decodeEscape(s[i:]); err == nil {
-				b.WriteString(dec)
-				i += n
-				continue
-			}
-		}
-		b.WriteByte(s[i])
-		i++
-	}
-	return b.String()
 }
 
 // Write serialises the graph in sorted order, one triple per line.

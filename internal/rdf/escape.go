@@ -1,0 +1,87 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DecodeEscape decodes one backslash escape at the start of s — the escape
+// set shared by the N-Triples and SPARQL grammars and (minus its extra \')
+// Turtle: \t, \n, \r, \", \\ and the \uXXXX / \UXXXXXXXX unicode forms. It
+// returns the decoded text and the number of input bytes consumed. s must
+// start with a backslash and be at least two bytes long. Every parser front
+// end delegates here, so escape semantics cannot diverge between formats.
+func DecodeEscape(s string) (string, int, error) {
+	// s[0] == '\\'
+	switch s[1] {
+	case 't':
+		return "\t", 2, nil
+	case 'n':
+		return "\n", 2, nil
+	case 'r':
+		return "\r", 2, nil
+	case '"':
+		return `"`, 2, nil
+	case '\\':
+		return `\`, 2, nil
+	case 'u', 'U':
+		digits := 4
+		if s[1] == 'U' {
+			digits = 8
+		}
+		if len(s) < 2+digits {
+			return "", 0, fmt.Errorf("truncated \\%c escape", s[1])
+		}
+		var code rune
+		for _, c := range s[2 : 2+digits] {
+			v := hexDigit(byte(c))
+			if v < 0 {
+				return "", 0, fmt.Errorf("invalid hex digit %q in unicode escape", c)
+			}
+			code = code<<4 | rune(v)
+		}
+		return string(code), 2 + digits, nil
+	default:
+		return "", 0, fmt.Errorf("unknown escape \\%c", s[1])
+	}
+}
+
+// UnescapeIRI decodes backslash escapes inside an IRIREF (the <...> syntax)
+// using DecodeEscape, leniently: an invalid or unknown escape is kept
+// literally rather than rejected, and a string without a backslash passes
+// through unchanged. It is the shared IRI decoder of every parser front end
+// (N-Triples, SPARQL) and the inverse of the escaping Term.String applies
+// when serialising IRIs (escapeIRI emits only \u forms, a strict subset of
+// what this accepts).
+func UnescapeIRI(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] == '\\' && i+1 < len(s) {
+			if dec, n, err := DecodeEscape(s[i:]); err == nil {
+				b.WriteString(dec)
+				i += n
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func hexDigit(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}

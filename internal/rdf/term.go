@@ -105,14 +105,14 @@ func (t Term) IsZero() bool { return t == Term{} }
 func (t Term) String() string {
 	switch t.Kind {
 	case IRI:
-		return "<" + t.Value + ">"
+		return "<" + escapeIRI(t.Value) + ">"
 	case Literal:
 		q := quoteLiteral(t.Value)
 		switch {
 		case t.Lang != "":
 			return q + "@" + t.Lang
 		case t.Datatype != "":
-			return q + "^^<" + t.Datatype + ">"
+			return q + "^^<" + escapeIRI(t.Datatype) + ">"
 		default:
 			return q
 		}
@@ -147,6 +147,47 @@ func quoteLiteral(s string) string {
 		}
 	}
 	b.WriteByte('"')
+	return b.String()
+}
+
+// iriNeedsEscape reports whether the byte may not appear unescaped inside
+// an N-Triples IRIREF: angle brackets, quote, braces, pipe, caret,
+// backtick, backslash, space and control characters — all ASCII, which is
+// what lets escapeIRI work byte-wise.
+func iriNeedsEscape(c byte) bool {
+	switch c {
+	case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
+		return true
+	}
+	return c <= 0x20
+}
+
+// escapeIRI \u-escapes the characters of an IRI value that the <...> syntax
+// cannot hold raw, so serialised IRIs always re-parse to the same value
+// (the parsers decode \uXXXX/\UXXXXXXXX inside IRIs). It operates on bytes
+// — every escape-needing character is ASCII — so multi-byte sequences and
+// even invalid UTF-8 pass through untouched and the round-trip is exact at
+// the byte level. Ordinary IRIs pass through without allocating.
+func escapeIRI(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if iriNeedsEscape(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; iriNeedsEscape(c) {
+			fmt.Fprintf(&b, `\u%04X`, c)
+		} else {
+			b.WriteByte(c)
+		}
+	}
 	return b.String()
 }
 

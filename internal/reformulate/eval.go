@@ -45,6 +45,25 @@ func (u *UCQ) Prepare(src engine.Source, d *dict.Dict) (*PreparedUCQ, error) {
 	return pu, nil
 }
 
+// Rebind points every branch plan at a different source — the next snapshot
+// of the same evolving graph. This is the branch-level invalidation path for
+// data-only mutations: the union itself (which depends only on the schema
+// closure, the dictionary and — when VocabDependent — the data vocabulary)
+// is kept, each branch keeps its compiled patterns and join plan, and a
+// branch replans individually only when the new source's size has drifted
+// past the engine's threshold. The caller remains responsible for rebuilding
+// the whole union when the rewriting itself is stale.
+func (pu *PreparedUCQ) Rebind(src engine.Source) {
+	for _, p := range pu.branches {
+		p.Rebind(src)
+	}
+}
+
+// VocabDependent reports whether the underlying rewriting consulted the data
+// graph's vocabulary (see UCQ.VocabDependent): if true, any data mutation may
+// invalidate the union and Rebind alone is not sound.
+func (pu *PreparedUCQ) VocabDependent() bool { return pu.u.VocabDependent }
+
 // Evaluate runs every prepared branch and unions the answers, deduplicated
 // over the original projection — the same result as UCQ.Evaluate with the
 // per-branch compile-and-plan cost amortised away. Each branch evaluates

@@ -17,7 +17,7 @@ import (
 // returns a new UCQ; the receiver is unchanged. Of a set of mutually
 // equivalent branches, the earliest is kept.
 func (u *UCQ) Minimize() *UCQ {
-	out := &UCQ{Query: u.Query}
+	out := &UCQ{Query: u.Query, VocabDependent: u.VocabDependent}
 	for i, b := range u.Branches {
 		redundant := false
 		for j, a := range u.Branches {

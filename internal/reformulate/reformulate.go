@@ -78,6 +78,13 @@ type UCQ struct {
 	// Branches are the union members; evaluating their union over G and
 	// deduplicating yields q(G∞).
 	Branches []Branch
+	// VocabDependent reports that the rewriting instantiated a variable in
+	// class or property position against the data graph's vocabulary. Such a
+	// union can be invalidated by any data mutation (a predicate or class
+	// newly used — or no longer used — by some triple changes the candidate
+	// set); a union with VocabDependent false depends only on the schema
+	// closure and the dictionary, so cached plans survive instance updates.
+	VocabDependent bool
 }
 
 // Size returns the number of union members, the paper's measure of
@@ -131,9 +138,11 @@ type reformulator struct {
 	queue []Branch
 	fresh int
 
-	// candidate vocabularies, computed lazily.
+	// candidate vocabularies, computed lazily; usedVocab records that at
+	// least one was consulted (feeding UCQ.VocabDependent).
 	classCandidates []rdf.Term
 	propCandidates  []rdf.Term
+	usedVocab       bool
 }
 
 // Reformulate rewrites q against the closed schema. src supplies the data
@@ -160,7 +169,7 @@ func Reformulate(q *sparql.Query, sch *schema.Schema, d *dict.Dict, src Vocabula
 			return nil, err
 		}
 	}
-	ucq := &UCQ{Query: q, Branches: r.out}
+	ucq := &UCQ{Query: q, Branches: r.out, VocabDependent: r.usedVocab}
 	if opt.Minimize {
 		ucq = ucq.Minimize()
 	}
@@ -272,6 +281,7 @@ func (r *reformulator) freshVar() rdf.Term {
 // variable over G∞: properties used in G, properties of the schema, and
 // rdf:type.
 func (r *reformulator) propertyCandidates() []rdf.Term {
+	r.usedVocab = true
 	if r.propCandidates != nil {
 		return r.propCandidates
 	}
@@ -291,6 +301,7 @@ func (r *reformulator) propertyCandidates() []rdf.Term {
 // classCandidatesList returns the possible bindings of a class-position
 // variable over G∞: classes asserted in G plus classes of the schema.
 func (r *reformulator) classCandidatesList() []rdf.Term {
+	r.usedVocab = true
 	if r.classCandidates != nil {
 		return r.classCandidates
 	}

@@ -297,7 +297,7 @@ func (p *qparser) term(pos termPos) (rdf.Term, error) {
 		}
 		iri := p.src[p.pos+1 : p.pos+end]
 		p.pos += end + 1
-		return rdf.NewIRI(iri), nil
+		return rdf.NewIRI(rdf.UnescapeIRI(iri)), nil
 	case c == '"':
 		if pos != posObject {
 			return rdf.Term{}, p.errf("literal only allowed in object position")
@@ -403,7 +403,7 @@ func (p *qparser) literal() (rdf.Term, error) {
 			}
 			dt := p.src[p.pos+1 : p.pos+end]
 			p.pos += end + 1
-			return rdf.NewTypedLiteral(lex, dt), nil
+			return rdf.NewTypedLiteral(lex, rdf.UnescapeIRI(dt)), nil
 		}
 		dt, err := p.prefixedName()
 		if err != nil {

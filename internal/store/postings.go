@@ -14,6 +14,17 @@ import (
 // this bound, so almost all leaves stay in the compact representation.
 const promoteAt = 16
 
+// sortCache is the lazily-(re)built sorted mirror of a promoted leaf: ids is
+// valid while ok holds. It backs ordered iteration (merge joins) over
+// promoted leaves without forcing every mutation to keep a sorted mirror,
+// and lives behind a pointer so the (overwhelmingly common) small leaves do
+// not pay its footprint — the postings struct itself stays in the 48-byte
+// size class.
+type sortCache struct {
+	ids []dict.ID
+	ok  bool
+}
+
 // postings is the leaf of a packed-key index: the set of third components c
 // for one (a,b) key pair. It starts as a small sorted []dict.ID and promotes
 // to a map past promoteAt elements; it never demotes (a leaf that grew once
@@ -22,11 +33,12 @@ const promoteAt = 16
 type postings struct {
 	small []dict.ID            // sorted; authoritative while set == nil
 	set   map[dict.ID]struct{} // non-nil once promoted
-	// sorted is a lazily-(re)built sorted snapshot of set, valid while
-	// sortedOK holds; it backs ordered iteration (merge joins) over promoted
-	// leaves without forcing every mutation to keep a sorted mirror.
-	sorted   []dict.ID
-	sortedOK bool
+	sc    *sortCache           // non-nil once promoted; see sortCache
+	// epoch is the store mutation epoch that created (or copy-on-write
+	// copied) this leaf. A leaf whose epoch predates the store's current
+	// epoch is shared with at least one snapshot and must be copied before
+	// mutation; a leaf at the current epoch is private to the writer.
+	epoch uint64
 }
 
 // add inserts c and reports whether it was new.
@@ -36,7 +48,7 @@ func (p *postings) add(c dict.ID) bool {
 			return false
 		}
 		p.set[c] = struct{}{}
-		p.sortedOK = false
+		p.sc.ok = false
 		return true
 	}
 	i, ok := slices.BinarySearch(p.small, c)
@@ -52,6 +64,7 @@ func (p *postings) add(c dict.ID) bool {
 		p.set[v] = struct{}{}
 	}
 	p.small = nil
+	p.sc = &sortCache{}
 	p.set[c] = struct{}{}
 	return true
 }
@@ -63,7 +76,7 @@ func (p *postings) remove(c dict.ID) bool {
 			return false
 		}
 		delete(p.set, c)
-		p.sortedOK = false
+		p.sc.ok = false
 		return true
 	}
 	i, ok := slices.BinarySearch(p.small, c)
@@ -115,25 +128,26 @@ func (p *postings) forEach(fn func(dict.ID) bool) bool {
 // must treat as read-only. For small leaves this is the authoritative sorted
 // slice, free of charge; for promoted leaves it is a snapshot rebuilt lazily
 // after mutations (the buffer is retained, so a stable leaf pays the sort
-// once). Rebuilding mutates the leaf, so concurrent callers must hold the
-// store's snapshot lock for promoted leaves — Store.SortedIDs does; do not
-// call this directly from new read paths without it.
+// once). Rebuilding mutates the leaf's sort cache, so concurrent callers
+// must hold the store's sort lock for promoted leaves — SortedIDs does; do
+// not call this directly from new read paths without it.
 func (p *postings) sortedView() []dict.ID {
 	if p.set == nil {
 		return p.small
 	}
-	if !p.sortedOK {
-		p.sorted = p.sorted[:0]
+	sc := p.sc
+	if !sc.ok {
+		sc.ids = sc.ids[:0]
 		for c := range p.set {
-			p.sorted = append(p.sorted, c)
+			sc.ids = append(sc.ids, c)
 		}
-		slices.Sort(p.sorted)
-		p.sortedOK = true
+		slices.Sort(sc.ids)
+		sc.ok = true
 	}
-	return p.sorted
+	return sc.ids
 }
 
-// clone returns an independent deep copy.
+// clone returns an independent deep copy (sort cache cold).
 func (p *postings) clone() *postings {
 	c := &postings{}
 	if p.set != nil {
@@ -141,8 +155,21 @@ func (p *postings) clone() *postings {
 		for v := range p.set {
 			c.set[v] = struct{}{}
 		}
+		c.sc = &sortCache{}
 		return c
 	}
 	c.small = slices.Clone(p.small)
+	return c
+}
+
+// cloneAt is the copy-on-write step: an independent copy stamped with the
+// given epoch. It deliberately reads only the authoritative representation
+// (set or small) and gives promoted copies a fresh, cold sort cache —
+// snapshot readers may be rebuilding the original's cache concurrently
+// under the shared sort lock, and copying it here would race with that
+// write.
+func (p *postings) cloneAt(epoch uint64) *postings {
+	c := p.clone()
+	c.epoch = epoch
 	return c
 }

@@ -1,0 +1,49 @@
+package store
+
+// Snapshot is an immutable point-in-time view of a Store. It exposes every
+// read method of the store (ForEachMatch, Count, SortedIDs, Contains, …) and
+// is safe for unlimited concurrent readers, including while the originating
+// store keeps mutating: a snapshot's triples never change after Snapshot
+// returns.
+//
+// Snapshots are cheap: taking one is O(1) — it shares the store's index maps
+// and every postings leaf. The cost model is deferred to the writer, which
+// pays (a) one shallow map copy per index on its first mutation after a
+// snapshot (detach), and (b) one leaf copy the first time each frozen leaf
+// is mutated within an epoch (copy-on-write). A read-mostly workload taking
+// many snapshots between rare mutation batches therefore pays almost
+// nothing; a write-heavy workload amortises the detach across the batch.
+//
+// Memory: a snapshot retains the leaves it shares for as long as it is
+// referenced. Dropping every reference to a snapshot releases whatever the
+// live store has since replaced.
+type Snapshot struct {
+	tables
+	epoch uint64
+}
+
+// Epoch returns the mutation epoch the snapshot was taken at. Epochs are
+// monotonically increasing per store — not globally — and advance by at
+// least one between two snapshots separated by a mutation, so they order
+// snapshots of one store and cheaply detect "nothing changed" (two Snapshot
+// calls with no mutation in between return the same epoch, in fact the very
+// same *Snapshot).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Snapshot returns an immutable view of the store's current contents. It
+// must be called from the writer side (i.e. serialized with mutations, like
+// every mutation method); the returned Snapshot can then be handed to any
+// number of concurrent readers, typically through an atomic pointer swapped
+// after each mutation batch.
+//
+// Consecutive calls with no intervening mutation return the same snapshot.
+func (s *Store) Snapshot() *Snapshot {
+	if s.snap == nil {
+		s.snap = &Snapshot{tables: s.tables, epoch: s.epoch}
+		s.shared = true
+	}
+	return s.snap
+}
+
+// Epoch returns the store's current mutation epoch (see Snapshot.Epoch).
+func (s *Store) Epoch() uint64 { return s.epoch }

@@ -16,6 +16,15 @@
 // needs). Per-index side tables (a → present b values, a → triple count)
 // serve the single-constant shapes and make every Count O(1) except the
 // fully-unbound scan.
+//
+// # Snapshots
+//
+// The store separates a single-writer mutation path from immutable read
+// epochs: Store.Snapshot returns a point-in-time Snapshot sharing all
+// postings leaves with the live store. Leaves are stamped with the mutation
+// epoch that created them; taking a snapshot freezes the current epoch, and
+// the writer copies a frozen leaf before its first mutation (copy-on-write),
+// so a Snapshot's contents never change after it is taken. See snapshot.go.
 package store
 
 import (
@@ -64,18 +73,41 @@ func newIndex(capHint int) index {
 	}
 }
 
-func (ix *index) add(a, b, c dict.ID) bool {
+// mutable returns the leaf under k ready for in-place mutation at epoch:
+// a leaf stamped with an older epoch is shared with some snapshot, so it is
+// replaced by a copy stamped with the current epoch first (the copy-on-write
+// step of the snapshot design; O(leaf size), paid once per leaf per epoch).
+func (ix *index) mutable(k uint64, l *postings, epoch uint64) *postings {
+	if l.epoch == epoch {
+		return l
+	}
+	c := l.cloneAt(epoch)
+	ix.leaves[k] = c
+	return c
+}
+
+func (ix *index) add(a, b, c dict.ID, epoch uint64) bool {
 	k := pack(a, b)
 	l := ix.leaves[k]
 	if l == nil {
-		l = &postings{}
+		l = &postings{epoch: epoch}
 		ix.leaves[k] = l
 		sub := ix.subs[a]
 		if sub == nil {
-			sub = &postings{}
+			sub = &postings{epoch: epoch}
+			ix.subs[a] = sub
+		} else if sub.epoch != epoch {
+			sub = sub.cloneAt(epoch)
 			ix.subs[a] = sub
 		}
 		sub.add(b)
+	} else if l.epoch != epoch {
+		// Frozen leaf: probe before copying so duplicate inserts — the
+		// common case during saturation rounds — never pay the copy.
+		if l.contains(c) {
+			return false
+		}
+		l = ix.mutable(k, l, epoch)
 	}
 	if !l.add(c) {
 		return false
@@ -84,15 +116,28 @@ func (ix *index) add(a, b, c dict.ID) bool {
 	return true
 }
 
-func (ix *index) remove(a, b, c dict.ID) bool {
+func (ix *index) remove(a, b, c dict.ID, epoch uint64) bool {
 	k := pack(a, b)
 	l := ix.leaves[k]
-	if l == nil || !l.remove(c) {
+	if l == nil {
+		return false
+	}
+	if l.epoch != epoch {
+		if !l.contains(c) {
+			return false
+		}
+		l = ix.mutable(k, l, epoch)
+	}
+	if !l.remove(c) {
 		return false
 	}
 	if l.size() == 0 {
 		delete(ix.leaves, k)
 		if sub := ix.subs[a]; sub != nil {
+			if sub.epoch != epoch {
+				sub = sub.cloneAt(epoch)
+				ix.subs[a] = sub
+			}
 			sub.remove(b)
 			if sub.size() == 0 {
 				delete(ix.subs, a)
@@ -109,6 +154,29 @@ func (ix *index) remove(a, b, c dict.ID) bool {
 
 // leaf returns the postings for (a,b), or nil.
 func (ix *index) leaf(a, b dict.ID) *postings { return ix.leaves[pack(a, b)] }
+
+// detach returns a copy of the index whose maps are fresh but whose leaves
+// are shared — the O(entries) shallow-copy step a writer pays once per
+// mutation batch after a snapshot was taken. (Leaves stay protected by their
+// epoch stamps; the new maps are what lets the writer insert and delete keys
+// without disturbing snapshot readers of the old maps.)
+func (ix *index) detach() index {
+	c := index{
+		leaves: make(map[uint64]*postings, len(ix.leaves)),
+		subs:   make(map[dict.ID]*postings, len(ix.subs)),
+		counts: make(map[dict.ID]int, len(ix.counts)),
+	}
+	for k, l := range ix.leaves {
+		c.leaves[k] = l
+	}
+	for a, sub := range ix.subs {
+		c.subs[a] = sub
+	}
+	for a, n := range ix.counts {
+		c.counts[a] = n
+	}
+	return c
+}
 
 func (ix *index) clone() index {
 	c := index{
@@ -128,9 +196,11 @@ func (ix *index) clone() index {
 	return c
 }
 
-// Store is an in-memory triple store. It is not safe for concurrent
-// mutation; concurrent read-only use is safe.
-type Store struct {
+// tables is the read side of the store: the three indexes plus the triple
+// count. Store embeds it mutably; Snapshot embeds an immutable copy whose
+// maps are never touched again. All read-only methods are defined here so
+// live store and snapshots share one implementation.
+type tables struct {
 	spo index // (s,p) -> {o}
 	pos index // (p,o) -> {s}
 	osp index // (o,s) -> {p}
@@ -138,11 +208,35 @@ type Store struct {
 	size int
 
 	// sortMu serializes the lazy sorted-snapshot rebuilds of promoted
-	// leaves (SortedIDs), so sorted reads stay safe under the store's
-	// concurrent read-only contract. It is deliberately store-wide: rebuilds
-	// happen at most once per leaf per mutation batch, so contention is nil
-	// and per-leaf locks would waste memory on millions of leaves.
-	sortMu sync.Mutex
+	// leaves (SortedIDs). It is shared by pointer between a store and every
+	// snapshot taken from it, because frozen promoted leaves are shared too
+	// and the rebuild mutates the leaf's sorted cache. It is deliberately
+	// store-wide: rebuilds happen at most once per leaf per mutation batch,
+	// so contention is nil and per-leaf locks would waste memory on millions
+	// of leaves.
+	sortMu *sync.Mutex
+}
+
+// Store is an in-memory triple store with a single-writer, multi-reader
+// concurrency model: mutation methods must be serialized by the caller, and
+// concurrent readers must either be quiescent during mutation or read
+// through a Snapshot, which is immutable and safe to use while the store
+// moves on. Concurrent read-only use of the live store is safe.
+type Store struct {
+	tables
+
+	// epoch is the current mutation epoch. Leaves stamped with an older
+	// epoch are shared with at least one snapshot and must be copied before
+	// mutation; leaves stamped with the current epoch are private to the
+	// writer and mutable in place.
+	epoch uint64
+	// shared is set while the tables' maps are referenced by the most
+	// recent snapshot; the first mutation afterwards detaches (shallow map
+	// copy) and clears it.
+	shared bool
+	// snap caches the snapshot of the current state, so repeated
+	// Snapshot() calls between mutations are free.
+	snap *Snapshot
 }
 
 // New returns an empty store.
@@ -152,9 +246,12 @@ func New() *Store { return NewWithCapacity(0) }
 // roughly n triples, avoiding incremental map growth during bulk loads.
 func NewWithCapacity(n int) *Store {
 	return &Store{
-		spo: newIndex(n),
-		pos: newIndex(n),
-		osp: newIndex(n),
+		tables: tables{
+			spo:    newIndex(n),
+			pos:    newIndex(n),
+			osp:    newIndex(n),
+			sortMu: &sync.Mutex{},
+		},
 	}
 }
 
@@ -165,9 +262,33 @@ func (s *Store) Reserve(n int) {
 	if s.size > 0 || n <= 0 {
 		return
 	}
+	// Replacing the maps wholesale is itself a detach: any snapshot keeps
+	// the old (empty) maps.
 	s.spo = newIndex(n)
 	s.pos = newIndex(n)
 	s.osp = newIndex(n)
+	s.snap = nil
+	if s.shared {
+		s.shared = false
+		s.epoch++
+	}
+}
+
+// detach readies the store for mutation: it drops the cached snapshot and,
+// when the maps are shared with a live snapshot, replaces them with shallow
+// copies and advances the epoch so every carried-over leaf is recognised as
+// frozen. Cost: O(total map entries) once per mutation batch following a
+// snapshot, nothing otherwise.
+func (s *Store) detach() {
+	s.snap = nil
+	if !s.shared {
+		return
+	}
+	s.spo = s.spo.detach()
+	s.pos = s.pos.detach()
+	s.osp = s.osp.detach()
+	s.shared = false
+	s.epoch++
 }
 
 // Add inserts the triple and reports whether it was new.
@@ -175,11 +296,16 @@ func (s *Store) Add(t Triple) bool {
 	if t.S == dict.None || t.P == dict.None || t.O == dict.None {
 		panic("store: Add of triple with wildcard (None) component")
 	}
-	if !s.spo.add(t.S, t.P, t.O) {
+	if s.snap != nil && s.Contains(t) {
+		// No-op mutation: the cached snapshot stays exact, skip the detach.
 		return false
 	}
-	s.pos.add(t.P, t.O, t.S)
-	s.osp.add(t.O, t.S, t.P)
+	s.detach()
+	if !s.spo.add(t.S, t.P, t.O, s.epoch) {
+		return false
+	}
+	s.pos.add(t.P, t.O, t.S, s.epoch)
+	s.osp.add(t.O, t.S, t.P, s.epoch)
 	s.size++
 	return true
 }
@@ -235,13 +361,14 @@ func (s *Store) AddBatchParallel(batches ...[]Triple) int {
 		}
 		return added
 	}
+	s.detach()
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
 		for _, ts := range batches {
 			for _, t := range ts {
-				s.pos.add(t.P, t.O, t.S)
+				s.pos.add(t.P, t.O, t.S, s.epoch)
 			}
 		}
 	}()
@@ -249,14 +376,14 @@ func (s *Store) AddBatchParallel(batches ...[]Triple) int {
 		defer wg.Done()
 		for _, ts := range batches {
 			for _, t := range ts {
-				s.osp.add(t.O, t.S, t.P)
+				s.osp.add(t.O, t.S, t.P, s.epoch)
 			}
 		}
 	}()
 	added := 0
 	for _, ts := range batches {
 		for _, t := range ts {
-			if s.spo.add(t.S, t.P, t.O) {
+			if s.spo.add(t.S, t.P, t.O, s.epoch) {
 				added++
 			}
 		}
@@ -268,72 +395,77 @@ func (s *Store) AddBatchParallel(batches ...[]Triple) int {
 
 // Remove deletes the triple and reports whether it was present.
 func (s *Store) Remove(t Triple) bool {
-	if !s.spo.remove(t.S, t.P, t.O) {
+	if s.snap != nil && !s.Contains(t) {
+		// No-op mutation: the cached snapshot stays exact, skip the detach.
 		return false
 	}
-	s.pos.remove(t.P, t.O, t.S)
-	s.osp.remove(t.O, t.S, t.P)
+	s.detach()
+	if !s.spo.remove(t.S, t.P, t.O, s.epoch) {
+		return false
+	}
+	s.pos.remove(t.P, t.O, t.S, s.epoch)
+	s.osp.remove(t.O, t.S, t.P, s.epoch)
 	s.size--
 	return true
 }
 
 // Contains reports whether the (fully concrete) triple is in the store.
-func (s *Store) Contains(t Triple) bool {
-	l := s.spo.leaf(t.S, t.P)
-	return l != nil && l.contains(t.O)
+func (t *tables) Contains(tr Triple) bool {
+	l := t.spo.leaf(tr.S, tr.P)
+	return l != nil && l.contains(tr.O)
 }
 
 // Len returns the number of triples in the store.
-func (s *Store) Len() int { return s.size }
+func (t *tables) Len() int { return t.size }
 
 // ForEachMatch calls fn for every triple matching the pattern (None
 // components are wildcards); iteration stops early if fn returns false.
 // The store must not be mutated from inside fn.
-func (s *Store) ForEachMatch(pat Triple, fn func(Triple) bool) {
+func (t *tables) ForEachMatch(pat Triple, fn func(Triple) bool) {
 	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
 	switch {
 	case bs && bp && bo:
-		if s.Contains(pat) {
+		if t.Contains(pat) {
 			fn(pat)
 		}
 	case bs && bp: // (s,p,?) via SPO
-		if l := s.spo.leaf(pat.S, pat.P); l != nil {
+		if l := t.spo.leaf(pat.S, pat.P); l != nil {
 			l.forEach(func(o dict.ID) bool { return fn(Triple{pat.S, pat.P, o}) })
 		}
 	case bp && bo: // (?,p,o) via POS
-		if l := s.pos.leaf(pat.P, pat.O); l != nil {
+		if l := t.pos.leaf(pat.P, pat.O); l != nil {
 			l.forEach(func(sub dict.ID) bool { return fn(Triple{sub, pat.P, pat.O}) })
 		}
 	case bs && bo: // (s,?,o) via OSP
-		if l := s.osp.leaf(pat.O, pat.S); l != nil {
+		if l := t.osp.leaf(pat.O, pat.S); l != nil {
 			l.forEach(func(p dict.ID) bool { return fn(Triple{pat.S, p, pat.O}) })
 		}
 	case bs: // (s,?,?) via SPO
-		if sub := s.spo.subs[pat.S]; sub != nil {
+		if sub := t.spo.subs[pat.S]; sub != nil {
 			sub.forEach(func(p dict.ID) bool {
-				return s.spo.leaf(pat.S, p).forEach(func(o dict.ID) bool {
+				return t.spo.leaf(pat.S, p).forEach(func(o dict.ID) bool {
 					return fn(Triple{pat.S, p, o})
 				})
 			})
 		}
 	case bp: // (?,p,?) via POS
-		if sub := s.pos.subs[pat.P]; sub != nil {
+		if sub := t.pos.subs[pat.P]; sub != nil {
 			sub.forEach(func(o dict.ID) bool {
-				return s.pos.leaf(pat.P, o).forEach(func(subj dict.ID) bool {
+				return t.pos.leaf(pat.P, o).forEach(func(subj dict.ID) bool {
 					return fn(Triple{subj, pat.P, o})
 				})
 			})
 		}
 	case bo: // (?,?,o) via OSP
-		if sub := s.osp.subs[pat.O]; sub != nil {
+		if sub := t.osp.subs[pat.O]; sub != nil {
 			sub.forEach(func(subj dict.ID) bool {
-				return s.osp.leaf(pat.O, subj).forEach(func(p dict.ID) bool {
+				return t.osp.leaf(pat.O, subj).forEach(func(p dict.ID) bool {
 					return fn(Triple{subj, p, pat.O})
 				})
 			})
 		}
 	default: // full scan via SPO packed keys
-		for k, l := range s.spo.leaves {
+		for k, l := range t.spo.leaves {
 			subj, p := dict.ID(k>>32), dict.ID(k)
 			if !l.forEach(func(o dict.ID) bool { return fn(Triple{subj, p, o}) }) {
 				return
@@ -346,23 +478,25 @@ func (s *Store) ForEachMatch(pat Triple, fn func(Triple) bool) {
 // wildcard position of pat, which must have exactly two bound positions (the
 // leaf shapes: (s,p,?), (?,p,o), (s,?,o)). ok is false when no triple
 // matches. The returned slice aliases store internals and must be treated as
-// read-only; it stays valid until the store is mutated.
+// read-only; it stays valid until the store is mutated (slices obtained from
+// a Snapshot stay valid for the snapshot's lifetime).
 //
 // For promoted (hash-set) leaves the order comes from a lazily-maintained
 // snapshot rebuilt on first sorted access after a mutation; the rebuild is
-// internally synchronized, so SortedIDs is safe under the store's concurrent
-// read-only contract like every other read. Sorted-leaf access is what the
-// engine's merge-intersection joins build on.
-func (s *Store) SortedIDs(pat Triple) ([]dict.ID, bool) {
+// internally synchronized (against the live store and every snapshot sharing
+// the leaf), so SortedIDs is safe under the store's concurrent read-only
+// contract like every other read. Sorted-leaf access is what the engine's
+// merge-intersection joins build on.
+func (t *tables) SortedIDs(pat Triple) ([]dict.ID, bool) {
 	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
 	var l *postings
 	switch {
 	case bs && bp && !bo:
-		l = s.spo.leaf(pat.S, pat.P)
+		l = t.spo.leaf(pat.S, pat.P)
 	case bp && bo && !bs:
-		l = s.pos.leaf(pat.P, pat.O)
+		l = t.pos.leaf(pat.P, pat.O)
 	case bs && bo && !bp:
-		l = s.osp.leaf(pat.O, pat.S)
+		l = t.osp.leaf(pat.O, pat.S)
 	default:
 		panic("store: SortedIDs pattern must have exactly one wildcard position")
 	}
@@ -372,9 +506,9 @@ func (s *Store) SortedIDs(pat Triple) ([]dict.ID, bool) {
 	if l.set == nil {
 		return l.small, true
 	}
-	s.sortMu.Lock()
+	t.sortMu.Lock()
 	ids := l.sortedView()
-	s.sortMu.Unlock()
+	t.sortMu.Unlock()
 	return ids, true
 }
 
@@ -388,8 +522,8 @@ type Cursor struct {
 // Postings returns a sorted cursor over the IDs matching the single
 // wildcard position of pat (same shape contract as SortedIDs). A pattern
 // with no matches yields an exhausted cursor.
-func (s *Store) Postings(pat Triple) Cursor {
-	ids, _ := s.SortedIDs(pat)
+func (t *tables) Postings(pat Triple) Cursor {
+	ids, _ := t.SortedIDs(pat)
 	return Cursor{ids: ids}
 }
 
@@ -478,10 +612,10 @@ func IntersectSorted(dst, a, b []dict.ID) []dict.ID {
 
 // Match returns all triples matching the pattern as a slice (convenience
 // wrapper over ForEachMatch; order is unspecified).
-func (s *Store) Match(pat Triple) []Triple {
+func (t *tables) Match(pat Triple) []Triple {
 	var out []Triple
-	s.ForEachMatch(pat, func(t Triple) bool {
-		out = append(out, t)
+	t.ForEachMatch(pat, func(tr Triple) bool {
+		out = append(out, tr)
 		return true
 	})
 	return out
@@ -491,46 +625,46 @@ func (s *Store) Match(pat Triple) []Triple {
 // shape except the fully-unbound one is O(1): the two-constant shapes read a
 // leaf size, the single-constant shapes read the per-index triple counters.
 // The optimizer leans on this for selectivity estimation.
-func (s *Store) Count(pat Triple) int {
+func (t *tables) Count(pat Triple) int {
 	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
 	switch {
 	case bs && bp && bo:
-		if s.Contains(pat) {
+		if t.Contains(pat) {
 			return 1
 		}
 		return 0
 	case bs && bp:
-		if l := s.spo.leaf(pat.S, pat.P); l != nil {
+		if l := t.spo.leaf(pat.S, pat.P); l != nil {
 			return l.size()
 		}
 		return 0
 	case bp && bo:
-		if l := s.pos.leaf(pat.P, pat.O); l != nil {
+		if l := t.pos.leaf(pat.P, pat.O); l != nil {
 			return l.size()
 		}
 		return 0
 	case bs && bo:
-		if l := s.osp.leaf(pat.O, pat.S); l != nil {
+		if l := t.osp.leaf(pat.O, pat.S); l != nil {
 			return l.size()
 		}
 		return 0
 	case bs:
-		return s.spo.counts[pat.S]
+		return t.spo.counts[pat.S]
 	case bp:
-		return s.pos.counts[pat.P]
+		return t.pos.counts[pat.P]
 	case bo:
-		return s.osp.counts[pat.O]
+		return t.osp.counts[pat.O]
 	default:
-		return s.size
+		return t.size
 	}
 }
 
 // Predicates returns the distinct predicate IDs currently used by at least
 // one triple. The reformulation candidate-enumeration step relies on this
 // being the complete property vocabulary of the graph.
-func (s *Store) Predicates() []dict.ID {
-	out := make([]dict.ID, 0, len(s.pos.counts))
-	for p := range s.pos.counts {
+func (t *tables) Predicates() []dict.ID {
+	out := make([]dict.ID, 0, len(t.pos.counts))
+	for p := range t.pos.counts {
 		out = append(out, p)
 	}
 	return out
@@ -538,8 +672,8 @@ func (s *Store) Predicates() []dict.ID {
 
 // Objects returns the distinct objects of triples with predicate p (e.g.
 // the classes used in rdf:type triples when p is rdf:type).
-func (s *Store) Objects(p dict.ID) []dict.ID {
-	sub := s.pos.subs[p]
+func (t *tables) Objects(p dict.ID) []dict.ID {
+	sub := t.pos.subs[p]
 	if sub == nil {
 		return nil
 	}
@@ -551,14 +685,18 @@ func (s *Store) Objects(p dict.ID) []dict.ID {
 	return out
 }
 
-// Clone returns a deep copy of the store. It copies the index structures
-// directly instead of replaying Add triple by triple, so benchmarks can
-// restore state between destructive maintenance runs cheaply.
+// Clone returns a deep copy of the store: every leaf is duplicated, nothing
+// is shared with the receiver or its snapshots. Prefer Snapshot for read
+// isolation — Clone exists for benchmarks and callers that need a second
+// independently mutable store.
 func (s *Store) Clone() *Store {
 	return &Store{
-		spo:  s.spo.clone(),
-		pos:  s.pos.clone(),
-		osp:  s.osp.clone(),
-		size: s.size,
+		tables: tables{
+			spo:    s.spo.clone(),
+			pos:    s.pos.clone(),
+			osp:    s.osp.clone(),
+			size:   s.size,
+			sortMu: &sync.Mutex{},
+		},
 	}
 }

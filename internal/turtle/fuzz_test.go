@@ -1,0 +1,39 @@
+package turtle
+
+import (
+	"testing"
+)
+
+// FuzzTurtle throws arbitrary bytes at the Turtle parser: it must either
+// return an error or a graph of well-formed triples — never panic, whatever
+// the lexer and parser state machines are driven through.
+func FuzzTurtle(f *testing.F) {
+	seeds := []string{
+		"@prefix ex: <http://ex.org/> . ex:a ex:p ex:b .",
+		"@prefix : <http://ex.org/> . :a :p :b , :c ; :q \"lit\" .",
+		"@base <http://base.org/> . <rel> <p> <o> .",
+		"PREFIX ex: <http://ex.org/>\nex:a a ex:C .",
+		"ex:a ex:p ex:b .",
+		"@prefix ex: <http://ex.org/> . ex:a ex:p \"x\\ny\"@en-GB .",
+		"@prefix ex: <http://ex.org/> . ex:a ex:p \"1.5\"^^ex:dt .",
+		"@prefix ex: <http://ex.org/> . [] ex:p [ ex:q ex:b ] .",
+		"@prefix ex: <http://ex.org/> . ex:a ex:p (1 2 3) .",
+		"@prefix ex: <http://ex.org/> . ex:a ex:p 42, 1.5, true .",
+		"@prefix ex: <http://ex.org/> # unterminated",
+		"\"\"\"triple quoted\"\"\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		for _, tr := range g.Triples() {
+			if werr := tr.WellFormed(); werr != nil {
+				t.Fatalf("accepted ill-formed triple %s: %v", tr, werr)
+			}
+		}
+	})
+}

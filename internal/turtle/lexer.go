@@ -10,6 +10,8 @@ package turtle
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/rdf"
 	"unicode"
 	"unicode/utf8"
 )
@@ -274,47 +276,13 @@ func decodeEscapes(raw string, l *lexer) (string, error) {
 	return b.String(), nil
 }
 
+// decodeOneEscape delegates to the shared rdf.DecodeEscape, adding Turtle's
+// extra \' form (the only escape its grammar has beyond the common set).
 func decodeOneEscape(s string) (string, int, error) {
-	switch s[1] {
-	case 't':
-		return "\t", 2, nil
-	case 'n':
-		return "\n", 2, nil
-	case 'r':
-		return "\r", 2, nil
-	case '"':
-		return `"`, 2, nil
-	case '\'':
+	if s[1] == '\'' {
 		return "'", 2, nil
-	case '\\':
-		return `\`, 2, nil
-	case 'u', 'U':
-		digits := 4
-		if s[1] == 'U' {
-			digits = 8
-		}
-		if len(s) < 2+digits {
-			return "", 0, fmt.Errorf("truncated \\%c escape", s[1])
-		}
-		var code rune
-		for _, c := range s[2 : 2+digits] {
-			var v rune
-			switch {
-			case c >= '0' && c <= '9':
-				v = c - '0'
-			case c >= 'a' && c <= 'f':
-				v = c - 'a' + 10
-			case c >= 'A' && c <= 'F':
-				v = c - 'A' + 10
-			default:
-				return "", 0, fmt.Errorf("invalid hex digit %q", c)
-			}
-			code = code<<4 | v
-		}
-		return string(code), 2 + digits, nil
-	default:
-		return "", 0, fmt.Errorf("unknown escape \\%c", s[1])
 	}
+	return rdf.DecodeEscape(s)
 }
 
 func (l *lexer) number() (token, error) {

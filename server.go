@@ -1,0 +1,351 @@
+package webreason
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// ServerOptions tunes a Server's mutation batching.
+type ServerOptions struct {
+	// FlushEvery is the number of queued mutation calls that forces an
+	// immediate flush. Larger batches amortise the store's copy-on-write
+	// detach and the strategy's snapshot swap across more updates (higher
+	// write throughput, staler reads); smaller batches shorten the window in
+	// which readers see pre-update state. Zero means DefaultFlushEvery.
+	FlushEvery int
+	// FlushInterval bounds how long a queued mutation may wait before it is
+	// applied even when the batch is not full. Zero means
+	// DefaultFlushInterval; negative disables the timer (flushes happen only
+	// on a full batch or an explicit Flush/Close).
+	FlushInterval time.Duration
+	// MaxPending caps the queued-but-unapplied mutation calls; a full queue
+	// blocks Insert/Delete until the background writer catches up, so a
+	// sustained overload throttles producers instead of growing memory (and
+	// final Flush/Close latency) without bound. Zero means
+	// DefaultMaxPending; negative disables the cap.
+	MaxPending int
+}
+
+// Default batching parameters: small enough that readers lag writers by
+// worst-case a few milliseconds, large enough that a sustained write stream
+// pays the per-batch snapshot cost a few hundred times less often than a
+// per-call swap would.
+const (
+	DefaultFlushEvery    = 256
+	DefaultFlushInterval = 2 * time.Millisecond
+	DefaultMaxPending    = 4096
+)
+
+// ErrServerClosed is returned by mutations and flushes after Close.
+var ErrServerClosed = errors.New("webreason: server closed")
+
+// Server wraps a Strategy as a goroutine-safe serving layer: any number of
+// goroutines may call Query, Ask, Prepare and prepared-query executions
+// concurrently with each other and with Insert/Delete, which feed an
+// asynchronous batched mutation queue applied by a single background writer.
+//
+// # Snapshot-isolation semantics
+//
+// Every read — a Query call, one execution of a prepared query — evaluates
+// against an immutable snapshot of the strategy's state, taken by the writer
+// after it applies a mutation batch and swapped in atomically. Readers
+// therefore observe:
+//
+//   - a consistent closure of some prefix of the mutation sequence: all
+//     entailments of exactly the base triples from batches applied so far,
+//     never a partially-applied batch, never a store mid-maintenance (no
+//     torn index state, no half-propagated inferences, no transiently
+//     overdeleted triples from DRed's two phases);
+//   - monotonic progress: successive reads observe the same or a later
+//     prefix, never an earlier one (the snapshot pointer only moves
+//     forward);
+//   - bounded staleness, not read-your-writes: Insert/Delete enqueue and
+//     return, so a read issued immediately afterwards may still see the
+//     pre-update snapshot. Call Flush to make every previously enqueued
+//     mutation visible to subsequent reads.
+//
+// What readers can never observe: effects of a mutation call interleaved
+// below batch granularity (a batch is applied atomically with respect to
+// reads), or state that mixes two batches partially.
+//
+// Mutations are validated synchronously — an ill-formed triple is rejected
+// on the Insert/Delete call itself — and applied asynchronously in enqueue
+// order, batched up to FlushEvery calls or FlushInterval of latency,
+// whichever comes first. The queue is bounded by MaxPending: when producers
+// sustainedly outrun the applier, Insert/Delete block until it catches up
+// rather than growing the backlog (and the staleness window) without bound.
+type Server struct {
+	strat core.Strategy
+	opts  ServerOptions
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled when applied advances
+	queue    []mutation
+	enqueued uint64 // total mutation calls accepted
+	applied  uint64 // total mutation calls applied by the writer
+	closed   bool
+
+	kick chan struct{} // nudges the writer loop (capacity 1)
+	done chan struct{} // closed to stop the writer loop
+	// flushTimer bounds batch latency: armed when the queue goes non-empty,
+	// stopped when it drains, so an idle server schedules no wakeups at all.
+	flushTimer *time.Timer
+	wg         sync.WaitGroup
+}
+
+// mutation is one queued Insert or Delete call.
+type mutation struct {
+	del bool
+	ts  []Triple
+}
+
+// NewServer wraps the strategy. The strategy must not be mutated behind the
+// server's back once serving starts; build it, hand it over, and use the
+// server's methods from then on. Close must be called to release the
+// background writer.
+func NewServer(s Strategy, opts ServerOptions) *Server {
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = DefaultFlushEvery
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
+	if opts.MaxPending == 0 {
+		opts.MaxPending = DefaultMaxPending
+	}
+	srv := &Server{
+		strat: s,
+		opts:  opts,
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	srv.cond = sync.NewCond(&srv.mu)
+	srv.flushTimer = time.NewTimer(time.Hour)
+	srv.flushTimer.Stop()
+	srv.wg.Add(1)
+	go srv.writer()
+	return srv
+}
+
+// Strategy returns the wrapped strategy (for stats and advisory helpers;
+// do not mutate it directly while the server is live).
+func (s *Server) Strategy() Strategy { return s.strat }
+
+// Query answers q against the current snapshot; safe for any number of
+// concurrent callers.
+func (s *Server) Query(q *Query) (*engine.Result, error) { return s.strat.Answer(q) }
+
+// Ask reports whether q has any answer against the current snapshot.
+func (s *Server) Ask(q *Query) (bool, error) { return s.strat.Ask(q) }
+
+// Insert validates the triples and enqueues their assertion, returning
+// before the batch is applied (see the staleness note in the type doc).
+func (s *Server) Insert(ts ...Triple) error { return s.enqueue(false, ts) }
+
+// Delete validates the triples and enqueues their retraction.
+func (s *Server) Delete(ts ...Triple) error { return s.enqueue(true, ts) }
+
+func (s *Server) enqueue(del bool, ts []Triple) error {
+	for _, t := range ts {
+		if err := t.WellFormed(); err != nil {
+			return err
+		}
+	}
+	m := mutation{del: del, ts: append([]Triple(nil), ts...)}
+	s.mu.Lock()
+	for s.opts.MaxPending > 0 && len(s.queue) >= s.opts.MaxPending && !s.closed {
+		// Backpressure: wake the writer and wait for it to drain. nudge is a
+		// non-blocking send, safe while holding mu.
+		s.nudge()
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.queue = append(s.queue, m)
+	s.enqueued++
+	full := len(s.queue) >= s.opts.FlushEvery
+	first := len(s.queue) == 1
+	s.mu.Unlock()
+	if full {
+		s.nudge()
+	} else if first && s.opts.FlushInterval > 0 {
+		// Arm the latency bound only when the queue goes non-empty: an idle
+		// server's writer then blocks on kick/done with no periodic wakeups.
+		s.flushTimer.Reset(s.opts.FlushInterval)
+	}
+	return nil
+}
+
+// Flush blocks until every mutation enqueued before the call has been
+// applied, making it visible to subsequent reads.
+func (s *Server) Flush() error {
+	s.mu.Lock()
+	target := s.enqueued
+	s.mu.Unlock()
+	s.nudge()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The writer always drains the queue (on kicks, ticks and on its way
+	// out), so applied reaches target even when Close races this call.
+	for s.applied < target {
+		s.cond.Wait()
+	}
+	return nil
+}
+
+// Close flushes pending mutations, stops the background writer and marks
+// the server closed. Further mutations return ErrServerClosed; reads keep
+// working against the final state. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait() // the writer drains the queue on its way out
+	return nil
+}
+
+// nudge wakes the writer loop without blocking.
+func (s *Server) nudge() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// writer is the single mutation applier: it owns all strategy mutation
+// calls, so the strategy sees strictly serialized writes. It sleeps on the
+// kick channel and the (enqueue-armed) flush timer — no periodic polling.
+func (s *Server) writer() {
+	defer s.wg.Done()
+	defer s.flushTimer.Stop()
+	for {
+		select {
+		case <-s.done:
+			s.apply()
+			return
+		case <-s.kick:
+		case <-s.flushTimer.C:
+		}
+		s.apply()
+	}
+}
+
+// apply drains the queue and applies it as maximal same-kind runs, so a
+// burst of Inserts becomes one strategy-level batch (one maintenance round,
+// one snapshot swap) while preserving enqueue order across kinds.
+func (s *Server) apply() {
+	// Disarm the latency timer before grabbing the queue: any mutation
+	// enqueued earlier is included in this batch, and one enqueued later
+	// performs its 0→1 Reset strictly after this Stop, so no queued
+	// mutation is ever left without an armed latency bound. (Stopping after
+	// the grab could race such a Reset and swallow it.)
+	s.flushTimer.Stop()
+	s.mu.Lock()
+	batch := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	var run []Triple
+	flushRun := func(del bool) {
+		if len(run) == 0 {
+			return
+		}
+		// Errors are impossible here: triples were validated on enqueue and
+		// strategy mutation paths only fail on ill-formed input.
+		if del {
+			s.strat.Delete(run...)
+		} else {
+			s.strat.Insert(run...)
+		}
+		run = run[:0]
+	}
+	cur := batch[0].del
+	for _, m := range batch {
+		if m.del != cur {
+			flushRun(cur)
+			cur = m.del
+		}
+		run = append(run, m.ts...)
+	}
+	flushRun(cur)
+	s.mu.Lock()
+	s.applied += uint64(len(batch))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Len returns the strategy's physical size as of the current snapshot.
+func (s *Server) Len() int { return s.strat.Len() }
+
+// Prepare compiles q for repeated concurrent execution against the server.
+// The returned ServerPrepared is safe for any number of concurrent callers
+// (unlike a bare PreparedQuery): it keeps a pool of per-goroutine prepared
+// instances, each of which revalidates against the strategy's current
+// snapshot on every execution.
+func (s *Server) Prepare(q *Query) (*ServerPrepared, error) {
+	// Prepare one instance eagerly so compile-time errors surface here.
+	pq, err := s.strat.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	sp := &ServerPrepared{s: s, q: q}
+	sp.pool.Put(pq)
+	return sp, nil
+}
+
+// ServerPrepared is a prepared query bound to a Server, safe for concurrent
+// execution. Each execution evaluates against the server's current snapshot;
+// see the Server type doc for exactly what that snapshot can contain.
+type ServerPrepared struct {
+	s    *Server
+	q    *Query
+	pool sync.Pool // of core.PreparedQuery
+}
+
+// Query returns the source query.
+func (p *ServerPrepared) Query() *Query { return p.q }
+
+// get hands out a pooled prepared instance, building one if the pool is
+// momentarily empty (first use by a new level of concurrency).
+func (p *ServerPrepared) get() (core.PreparedQuery, error) {
+	if pq, ok := p.pool.Get().(core.PreparedQuery); ok {
+		return pq, nil
+	}
+	return p.s.strat.Prepare(p.q)
+}
+
+// Answer executes the prepared query against the current snapshot.
+func (p *ServerPrepared) Answer() (*engine.Result, error) {
+	pq, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	res, err := pq.Answer()
+	p.pool.Put(pq)
+	return res, err
+}
+
+// Ask reports whether the prepared query has any answer.
+func (p *ServerPrepared) Ask() (bool, error) {
+	pq, err := p.get()
+	if err != nil {
+		return false, err
+	}
+	ok, err := pq.Ask()
+	p.pool.Put(pq)
+	return ok, err
+}

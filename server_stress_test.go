@@ -1,0 +1,163 @@
+package webreason_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	webreason "repro"
+)
+
+// TestServerStressConsistentPrefixes is the reader/writer stress test of the
+// snapshot-isolation contract: N reader goroutines run a prepared query
+// while M writer goroutines stream Insert (then Delete) batches through the
+// async queue, and every single result must be a consistent closure of some
+// whole-batch prefix of the mutation sequence.
+//
+// The checkable invariant: each writer call carries exactly batchSize fresh
+// (x ex:p y) triples with unique subjects and objects. The query joins the
+// entailed q-edge with the domain- and range-entailed types,
+//
+//	?x ex:q ?y . ?x a ex:D . ?y a ex:R
+//
+// so against any consistent prefix the row count is exactly the number of
+// p-triples in that prefix — a multiple of batchSize. A torn state (a batch
+// half-applied, or a store observed mid-maintenance with the q-edge present
+// but the type not yet derived) breaks the join for some subject and the
+// multiple — or, under saturation, crashes the iteration outright. During
+// the insert-only phase each reader additionally checks monotonicity: the
+// observed prefix never moves backwards. Run under -race this doubles as
+// the data-race proof for the whole read path.
+func TestServerStressConsistentPrefixes(t *testing.T) {
+	const (
+		writers   = 3
+		readers   = 4
+		batches   = 24 // per writer
+		batchSize = 4
+	)
+	ex := func(n string) webreason.Term { return webreason.NewIRI("http://ex.org/" + n) }
+	mkBatch := func(w, b int) []webreason.Triple {
+		ts := make([]webreason.Triple, 0, batchSize)
+		for i := 0; i < batchSize; i++ {
+			ts = append(ts,
+				webreason.T(ex(fmt.Sprintf("s-%d-%d-%d", w, b, i)), ex("p"), ex(fmt.Sprintf("o-%d-%d-%d", w, b, i))))
+		}
+		return ts
+	}
+	query := webreason.MustParseQuery(
+		`PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:q ?y . ?x a ex:D . ?y a ex:R }`)
+
+	for _, name := range serverStrategies {
+		t.Run(name, func(t *testing.T) {
+			srv := newServerFor(t, name, webreason.ServerOptions{FlushEvery: 8, FlushInterval: 100 * time.Microsecond})
+			defer srv.Close()
+			pq, err := srv.Prepare(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var insertsDone atomic.Bool
+			var failed atomic.Bool
+			var wg sync.WaitGroup
+
+			// Readers poll until the writers (and the mixed phase) finish.
+			stop := make(chan struct{})
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					lastMonotonic := -1
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						res, err := pq.Answer()
+						if err != nil {
+							t.Errorf("reader %d: %v", r, err)
+							failed.Store(true)
+							return
+						}
+						n := len(res.Rows)
+						if n%batchSize != 0 {
+							t.Errorf("reader %d: observed %d rows — not a whole-batch prefix (batch size %d)", r, n, batchSize)
+							failed.Store(true)
+							return
+						}
+						if !insertsDone.Load() {
+							// Insert-only phase: prefixes only grow. (The
+							// check is armed before the flag flips, so a
+							// stale read of the flag can only skip the
+							// check, never misfire.)
+							if n < lastMonotonic {
+								t.Errorf("reader %d: prefix moved backwards (%d after %d rows)", r, n, lastMonotonic)
+								failed.Store(true)
+								return
+							}
+							lastMonotonic = n
+						}
+					}
+				}(r)
+			}
+
+			// Phase 1: concurrent insert-only writers.
+			var wwg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wwg.Add(1)
+				go func(w int) {
+					defer wwg.Done()
+					for b := 0; b < batches; b++ {
+						if err := srv.Insert(mkBatch(w, b)...); err != nil {
+							t.Errorf("writer %d: %v", w, err)
+							failed.Store(true)
+							return
+						}
+					}
+				}(w)
+			}
+			wwg.Wait()
+			if err := srv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			insertsDone.Store(true)
+
+			// Phase 2: writers delete their even-numbered batches while the
+			// readers keep checking whole-batch visibility.
+			for w := 0; w < writers; w++ {
+				wwg.Add(1)
+				go func(w int) {
+					defer wwg.Done()
+					for b := 0; b < batches; b += 2 {
+						if err := srv.Delete(mkBatch(w, b)...); err != nil {
+							t.Errorf("writer %d delete: %v", w, err)
+							failed.Store(true)
+							return
+						}
+					}
+				}(w)
+			}
+			wwg.Wait()
+			if err := srv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			close(stop)
+			wg.Wait()
+			if failed.Load() {
+				t.FailNow()
+			}
+
+			// Final state: every odd batch of every writer, nothing else.
+			res, err := pq.Answer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := writers * (batches / 2) * batchSize
+			if len(res.Rows) != want {
+				t.Fatalf("final state: %d rows, want %d", len(res.Rows), want)
+			}
+		})
+	}
+}

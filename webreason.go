@@ -33,6 +33,20 @@
 //
 //	pq, err := webreason.Prepare(strategy, q)
 //	for ... { res, err := pq.Answer() }
+//
+// # Concurrent serving
+//
+// Strategies and bare prepared queries assume a single goroutine. To serve
+// many clients while the graph evolves — the paper's web setting — wrap a
+// strategy in a Server: queries run concurrently against immutable
+// snapshots, and updates flow through an asynchronous batched mutation
+// queue applied by one background writer. See the Server type for the exact
+// snapshot-isolation guarantees.
+//
+//	srv := webreason.NewServer(strategy, webreason.ServerOptions{})
+//	defer srv.Close()
+//	err := srv.Insert(triples...) // validates, then applies asynchronously
+//	res, err := srv.Query(q)      // always a consistent closure
 package webreason
 
 import (
