@@ -3,7 +3,8 @@
 #   make test             run the full tier-1 suite (build + all tests)
 #   make test-race        the same suite under the race detector
 #   make vet              static checks
-#   make fuzz             run each parser fuzz target briefly (panic hunt)
+#   make fuzz             run each fuzz target briefly (parsers + the
+#                         persistence snapshot/WAL decoders; panic hunt)
 #   make bench            run every benchmark family with -benchmem and
 #                         append a labelled JSON record per family (JSON
 #                         Lines: one run object per line, with go version +
@@ -13,12 +14,17 @@
 #   make bench-query      the engine/query + parallel-saturation family only
 #   make bench-concurrent snapshot cost + server read throughput under
 #                         sustained writes -> BENCH_concurrent.json
+#   make bench-persist    durability layer: snapshot load vs parse+saturate,
+#                         WAL append cost, recovery time vs WAL length,
+#                         durable server write overhead -> BENCH_persist.json
+#                         (BENCHTIME=1x for a CI smoke run)
 
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 FUZZTIME ?= 30s
+BENCHTIME ?= 1s
 
-.PHONY: test test-race vet fuzz bench bench-query bench-concurrent
+.PHONY: test test-race vet fuzz bench bench-query bench-concurrent bench-persist
 
 test:
 	$(GO) build ./...
@@ -34,6 +40,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNTriples -fuzztime $(FUZZTIME) ./internal/ntriples/
 	$(GO) test -run '^$$' -fuzz FuzzTurtle -fuzztime $(FUZZTIME) ./internal/turtle/
 	$(GO) test -run '^$$' -fuzz FuzzSPARQL -fuzztime $(FUZZTIME) ./internal/sparql/
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) ./internal/persist/
 
 bench: bench-query
 	$(GO) test -run '^$$' -bench 'BenchmarkStore' -benchmem ./internal/store/ | \
@@ -51,3 +59,8 @@ bench-concurrent:
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-concurrent" -out BENCH_concurrent.json
 	$(GO) run ./cmd/rdfserve -duration 3s -readers 4 -writers 1 -bench | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-serve" -out BENCH_concurrent.json
+
+bench-persist:
+	$(GO) test -run '^$$' -bench 'BenchmarkPersist|BenchmarkServerDurableWrites' \
+		-benchtime $(BENCHTIME) -benchmem . | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-persist" -out BENCH_persist.json

@@ -1,14 +1,24 @@
 // Command rdfserve drives the snapshot-isolated serving layer under load:
-// it loads a LUBM-style knowledge base, wraps the chosen strategy in a
-// webreason.Server, and hammers it with N reader goroutines (each running a
-// prepared workload query in a loop) while M writer goroutines stream
-// insert/delete batches through the async mutation queue. At the end it
-// reports sustained read and write throughput plus per-query latency.
+// it loads a LUBM-style knowledge base (or recovers one from a persistence
+// directory), wraps the chosen strategy in a webreason.Server, and hammers
+// it with N reader goroutines (each running a prepared workload query in a
+// loop) while M writer goroutines stream insert/delete batches through the
+// async mutation queue. At the end it reports sustained read and write
+// throughput plus per-query latency.
+//
+// With -data the server is durable: mutation batches are write-ahead
+// logged, checkpoints are written in the background, and on start the
+// directory is recovered — the latest snapshot is loaded (skipping
+// re-saturation when it carries G∞) and the WAL tail is replayed through
+// the strategy. SIGINT/SIGTERM trigger a graceful shutdown: the load stops,
+// the mutation queue is flushed, a final checkpoint is written and the WAL
+// is closed, so the next start recovers instantly and answers identically.
 //
 // Usage:
 //
 //	rdfserve -strategy saturation -readers 4 -writers 1 -duration 5s
 //	rdfserve -readers 16 -query Q5 -flush-every 128 -flush-interval 1ms
+//	rdfserve -data /var/lib/rdfserve -sync always -duration 1h
 //	rdfserve -bench | go run ./cmd/benchjson -out BENCH_concurrent.json
 //
 // With -bench the report is emitted as `go test -bench`-style lines, so it
@@ -19,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	webreason "repro"
@@ -40,19 +52,67 @@ func main() {
 	flushInterval := flag.Duration("flush-interval", webreason.DefaultFlushInterval, "server mutation flush interval")
 	queryName := flag.String("query", "Q5", "workload query the readers execute")
 	benchOut := flag.Bool("bench", false, "emit go-bench-style lines for cmd/benchjson")
+	dataDir := flag.String("data", "", "persistence directory: WAL + snapshots, crash recovery on start")
+	syncMode := flag.String("sync", "always", "WAL fsync policy: always|never")
+	ckptBytes := flag.Int64("checkpoint-bytes", 0, "checkpoint when the WAL passes this size (0 = default, negative disables)")
+	ckptRecords := flag.Int("checkpoint-records", 0, "checkpoint after this many WAL records (0 = default, negative disables)")
 	flag.Parse()
 
-	cfg := lubm.DefaultConfig()
-	cfg.Universities = *universities
-	cfg.DeptsPerUniv = *depts
-	kb := core.NewKB()
-	if _, err := kb.LoadGraph(lubm.GenerateWithOntology(cfg)); err != nil {
-		fatalf("loading LUBM graph: %v", err)
+	var db *webreason.DB
+	var strat webreason.Strategy
+	switch {
+	case *dataDir != "":
+		dbOpts := webreason.DBOptions{
+			CheckpointBytes:   *ckptBytes,
+			CheckpointRecords: *ckptRecords,
+		}
+		switch *syncMode {
+		case "always":
+			dbOpts.Sync = webreason.SyncAlways
+		case "never":
+			dbOpts.Sync = webreason.SyncNever
+		default:
+			fatalf("unknown -sync %q (want always or never)", *syncMode)
+		}
+		var err error
+		if db, err = webreason.OpenDB(*dataDir, dbOpts); err != nil {
+			fatalf("opening %s: %v", *dataDir, err)
+		}
+		if st := db.State(); st != nil {
+			t0 := time.Now()
+			_, strat, err = webreason.RestoreStrategy(*strategy, st)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			replayed, err := db.ReplayTail(strat.Insert, strat.Delete)
+			if err != nil {
+				fatalf("replaying WAL: %v", err)
+			}
+			fmt.Printf("recovered %s: %d triples from snapshot gen %d (saturated: %v), replayed %d WAL records in %s\n",
+				*dataDir, strat.Len(), st.Generation, st.Saturated != nil, replayed, time.Since(t0).Round(time.Millisecond))
+		} else {
+			strat = buildFromGenerator(*strategy, *universities, *depts)
+			// A snapshot-less directory can still hold logged mutations (a
+			// WAL-only chain); replay them on top of the bulk load rather
+			// than letting the bootstrap checkpoint garbage-collect them.
+			replayed := 0
+			if db.TailLen() > 0 {
+				if replayed, err = db.ReplayTail(strat.Insert, strat.Delete); err != nil {
+					fatalf("replaying WAL: %v", err)
+				}
+			}
+			// Bootstrap checkpoint: the bulk load becomes a snapshot, not a
+			// giant WAL, and must be durable before mutations are accepted.
+			if err := db.Checkpoint(strat.(webreason.DurableStrategy).DurableState()); err != nil {
+				fatalf("bootstrap checkpoint: %v", err)
+			}
+			fmt.Printf("bootstrapped %s: %d triples, snapshot gen %d (replayed %d pre-existing WAL records)\n",
+				*dataDir, strat.Len(), db.Generation(), replayed)
+		}
+	default:
+		strat = buildFromGenerator(*strategy, *universities, *depts)
 	}
-	strat, err := webreason.NewStrategy(*strategy, kb)
-	if err != nil {
-		fatalf("%v", err)
-	}
+
 	var q *webreason.Query
 	for _, wq := range lubm.Queries() {
 		if wq.Name == *queryName {
@@ -66,8 +126,8 @@ func main() {
 	srv := webreason.NewServer(strat, webreason.ServerOptions{
 		FlushEvery:    *flushEvery,
 		FlushInterval: *flushInterval,
+		DB:            db,
 	})
-	defer srv.Close()
 	pq, err := srv.Prepare(q)
 	if err != nil {
 		fatalf("preparing %s: %v", *queryName, err)
@@ -129,15 +189,33 @@ func main() {
 		}(w)
 	}
 
-	time.Sleep(*duration)
+	// Run for the configured duration, or until SIGINT/SIGTERM asks for a
+	// graceful shutdown (stop the load, flush the queue, write the final
+	// checkpoint, close the WAL — never die mid-batch).
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	start := time.Now()
+	select {
+	case <-time.After(*duration):
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "rdfserve: received %s, shutting down gracefully\n", sig)
+	}
+	signal.Stop(sigs)
+	elapsed := time.Since(start)
 	close(stop)
 	wg.Wait()
-	if err := srv.Flush(); err != nil {
-		fatalf("final flush: %v", err)
+	// Close flushes the queue and, when durable, writes the final checkpoint.
+	if err := srv.Close(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	if db != nil {
+		if err := db.Close(); err != nil {
+			fatalf("closing data dir: %v", err)
+		}
 	}
 
 	nq, nm := queries.Load(), mutations.Load()
-	secs := duration.Seconds()
+	secs := elapsed.Seconds()
 	nsPerQuery := float64(0)
 	if nq > 0 {
 		nsPerQuery = float64(readNanos.Load()) / float64(nq)
@@ -152,11 +230,28 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("strategy=%s query=%s readers=%d writers=%d duration=%s flushEvery=%d flushInterval=%s\n",
-		*strategy, *queryName, *readers, *writers, *duration, *flushEvery, *flushInterval)
+	fmt.Printf("strategy=%s query=%s readers=%d writers=%d duration=%s flushEvery=%d flushInterval=%s durable=%v\n",
+		*strategy, *queryName, *readers, *writers, elapsed.Round(time.Millisecond), *flushEvery, *flushInterval, db != nil)
 	fmt.Printf("  queries:   %d (%.0f/sec, mean latency %s)\n", nq, float64(nq)/secs, time.Duration(int64(nsPerQuery)))
 	fmt.Printf("  mutations: %d applied triples (%.0f/sec)\n", nm, float64(nm)/secs)
 	fmt.Printf("  store:     %d triples (%s)\n", srv.Len(), strat.Name())
+}
+
+// buildFromGenerator loads the LUBM-style workload into a fresh KB and
+// builds the named strategy over it.
+func buildFromGenerator(strategy string, universities, depts int) webreason.Strategy {
+	cfg := lubm.DefaultConfig()
+	cfg.Universities = universities
+	cfg.DeptsPerUniv = depts
+	kb := core.NewKB()
+	if _, err := kb.LoadGraph(lubm.GenerateWithOntology(cfg)); err != nil {
+		fatalf("loading LUBM graph: %v", err)
+	}
+	strat, err := webreason.NewStrategy(strategy, kb)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return strat
 }
 
 func fatalf(format string, args ...any) {

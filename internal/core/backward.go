@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/engine"
+	"repro/internal/persist"
 	"repro/internal/rdf"
 	"repro/internal/schema"
 	"repro/internal/sparql"
@@ -121,6 +122,18 @@ func (b *Backward) Delete(ts ...rdf.Triple) error {
 
 // Len implements Strategy: only |G| is stored.
 func (b *Backward) Len() int { return b.cur.Load().st.Len() }
+
+// DurableState implements DurableStrategy: backward chaining materialises
+// nothing, so only the asserted triples are persisted.
+func (b *Backward) DurableState() persist.State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return persist.State{
+		Dict:    b.kb.dict,
+		DictLen: b.kb.dict.Len(),
+		Base:    b.data.Snapshot(),
+	}
+}
 
 // Prepare implements Strategy: the compiled plan is cached against the
 // current inferred view. The view is a plain Source (its matches are derived

@@ -49,6 +49,26 @@ func NewKB() *KB {
 	}
 }
 
+// RestoreKB rebuilds a knowledge base around a dictionary and base store
+// recovered from a persistence snapshot, taking ownership of both. The RDFS
+// vocabulary is re-encoded against the restored dictionary (terms already
+// present keep their IDs; the dense assignment makes this a no-op for any
+// dictionary that saw the vocabulary before it was persisted). base may be
+// nil when the KB only carries dictionary, vocabulary and rules (the
+// restored-saturation fast path, whose data lives in the strategy).
+func RestoreKB(d *dict.Dict, base *store.Store) *KB {
+	if base == nil {
+		base = store.New()
+	}
+	voc := schema.NewVocab(d)
+	return &KB{
+		dict:  d,
+		voc:   voc,
+		base:  base,
+		rules: reason.RDFSRules(voc),
+	}
+}
+
 // Dict exposes the term dictionary (shared, append-only).
 func (kb *KB) Dict() *dict.Dict { return kb.dict }
 

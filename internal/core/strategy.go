@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/engine"
+	"repro/internal/persist"
 	"repro/internal/rdf"
 	"repro/internal/reason"
 	"repro/internal/reformulate"
@@ -48,6 +49,21 @@ type Strategy interface {
 	// the strategy's data live and revalidates its cached plans
 	// automatically, so it stays correct across Insert/Delete.
 	Prepare(q *sparql.Query) (PreparedQuery, error)
+}
+
+// DurableStrategy is implemented by strategies whose state can be
+// checkpointed by the persistence layer. DurableState must be called from
+// the strategy's (serialized) mutation side — in serving deployments, the
+// server's single writer goroutine at a mutation-batch boundary — and
+// returns O(1) copy-on-write views: capturing a checkpoint never stalls
+// reads or subsequent writes, the serialisation happens later against the
+// frozen views. All three built-in strategies implement it.
+type DurableStrategy interface {
+	Strategy
+	// DurableState captures the strategy's persistent state: the asserted
+	// triples (always) and the saturated store (when materialised), plus the
+	// dictionary length as of the same boundary.
+	DurableState() persist.State
 }
 
 // PreparedQuery is a query compiled against one strategy for repeated
@@ -111,6 +127,19 @@ type Saturation struct {
 // copied; later updates must go through this strategy.
 func NewSaturation(kb *KB) *Saturation {
 	s := &Saturation{kb: kb, mat: reason.Materialize(kb.base, kb.rules)}
+	s.cur.Store(s.mat.Store().Snapshot())
+	return s
+}
+
+// NewSaturationRestored rebuilds a saturation strategy from a recovered
+// snapshot, skipping re-saturation entirely: base is the set of asserted
+// triples G and saturated its closure under the KB's rules (the persistence
+// layer guarantees the pair, having checkpointed them together at a batch
+// boundary). The strategy takes ownership of both; the KB contributes only
+// dictionary, vocabulary and rules — its own base store plays no role in a
+// restored materialisation.
+func NewSaturationRestored(kb *KB, base *store.TripleSet, saturated *store.Store) *Saturation {
+	s := &Saturation{kb: kb, mat: reason.Restore(base, saturated, kb.rules)}
 	s.cur.Store(s.mat.Store().Snapshot())
 	return s
 }
@@ -189,6 +218,22 @@ func (s *Saturation) Prepare(q *sparql.Query) (PreparedQuery, error) {
 		return nil, err
 	}
 	return &satPrepared{s: s, q: q, proj: q.Projection(), p: p}, nil
+}
+
+// DurableState implements DurableStrategy: the asserted set and the
+// saturated closure, both as O(1) COW snapshots, so a restart restores G and
+// G∞ without re-running saturation. The base goes into the snapshot as a
+// single-index set image — a third of a full store's bytes and load work,
+// matching what the materialisation actually keeps.
+func (s *Saturation) DurableState() persist.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return persist.State{
+		Dict:      s.kb.dict,
+		DictLen:   s.kb.dict.Len(),
+		BaseSet:   s.mat.BaseSet().Snapshot(),
+		Saturated: s.mat.Store().Snapshot(),
+	}
 }
 
 type satPrepared struct {
@@ -400,6 +445,19 @@ func (r *Reformulation) Prepare(q *sparql.Query) (PreparedQuery, error) {
 	return pq, nil
 }
 
+// DurableState implements DurableStrategy. Only the asserted triples are
+// persisted: the schema-closure overlay is derived state that restore
+// recomputes (it is small by the paper's DB-fragment assumption).
+func (r *Reformulation) DurableState() persist.State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return persist.State{
+		Dict:    r.kb.dict,
+		DictLen: r.kb.dict.Len(),
+		Base:    r.data.Snapshot(),
+	}
+}
+
 type refPrepared struct {
 	r    *Reformulation
 	q    *sparql.Query
@@ -538,6 +596,9 @@ func (u *unionSource) Objects(p dict.ID) []dict.ID {
 var (
 	_ Strategy                     = (*Saturation)(nil)
 	_ Strategy                     = (*Reformulation)(nil)
+	_ DurableStrategy              = (*Saturation)(nil)
+	_ DurableStrategy              = (*Reformulation)(nil)
+	_ DurableStrategy              = (*Backward)(nil)
 	_ engine.Source                = (*unionSource)(nil)
 	_ reformulate.VocabularySource = (*unionSource)(nil)
 )
@@ -570,4 +631,31 @@ func NewStrategy(name string, kb *KB) (Strategy, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %q (want saturation, reformulation or backward)", name)
 	}
+}
+
+// RestoreStrategy builds the named strategy from snapshot-recovered state,
+// returning the KB it was built on. The fast path — a saturation snapshot
+// restored as the saturation strategy — starts serving without re-running
+// saturation (and without a full base store: the KB then carries only
+// dictionary, vocabulary and rules). Cross-strategy restores convert: a
+// saturation snapshot restored as reformulation/backward rebuilds the full
+// G store from the base set, and a G-only snapshot restored as saturation
+// re-saturates, exactly as a fresh build would.
+func RestoreStrategy(name string, ls *persist.LoadedState) (*KB, Strategy, error) {
+	base := ls.Base
+	if base == nil && !(name == "saturation" && ls.Saturated != nil) {
+		base = store.NewWithCapacity(ls.BaseSet.Len())
+		ls.BaseSet.ForEach(func(t store.Triple) bool { base.Add(t); return true })
+	}
+	kb := RestoreKB(ls.Dict, base)
+	if name == "saturation" && ls.Saturated != nil {
+		baseSet := ls.BaseSet
+		if baseSet == nil {
+			baseSet = store.NewTripleSet(ls.Base.Len())
+			ls.Base.ForEachMatch(store.Triple{}, func(t store.Triple) bool { baseSet.Add(t); return true })
+		}
+		return kb, NewSaturationRestored(kb, baseSet, ls.Saturated), nil
+	}
+	s, err := NewStrategy(name, kb)
+	return kb, s, err
 }

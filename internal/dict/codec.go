@@ -1,0 +1,97 @@
+package dict
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/rdf"
+)
+
+// Binary export/import of the dictionary for the persistence layer. The
+// format is the natural one for a dense append-only ID space: a uvarint term
+// count, then every term in ID order using the rdf binary term codec, so
+// import rebuilds byID with a single pass and byVal with one map insert per
+// term. IDs are implicit (position + 1), which keeps the format impossible
+// to desynchronise from the dense-assignment invariant.
+//
+// Framing, versioning and corruption detection belong to the caller
+// (internal/persist wraps every section in a length + CRC frame); this codec
+// only promises to never panic on malformed input.
+
+// ErrDictCorrupt is wrapped by every dictionary-decoding error.
+var ErrDictCorrupt = errors.New("dict: corrupt binary dictionary")
+
+// WriteBinary writes the first n terms (IDs 1..n) to w. n must not exceed
+// Len(); passing a recorded Len() from a past point in time serialises the
+// dictionary as of that moment even if terms were coined since — the
+// append-only ID assignment makes old prefixes immutable, which is what lets
+// a background checkpoint serialise a consistent dictionary while the writer
+// keeps coining terms.
+func (d *Dict) WriteBinary(w io.Writer, n int) error {
+	d.mu.RLock()
+	terms := d.byID
+	d.mu.RUnlock()
+	if n < 0 || n > len(terms) {
+		return fmt.Errorf("dict: WriteBinary of %d terms, have %d", n, len(terms))
+	}
+	terms = terms[:n]
+	buf := binary.AppendUvarint(nil, uint64(n))
+	for _, t := range terms {
+		buf = rdf.AppendTerm(buf, t)
+		if len(buf) >= 1<<16 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadBinary reconstructs a dictionary from the encoding produced by
+// WriteBinary. Duplicate terms are rejected: they cannot occur in a healthy
+// export (Encode never assigns two IDs to one term) and accepting them would
+// silently remap IDs.
+//
+// Zero-copy: the terms' strings alias b (rdf.DecodeTermInPlace), so the
+// caller must never modify b afterwards; the buffer stays alive as long as
+// the dictionary does. This is the same obligation the snapshot loader
+// already takes on for store leaves, and it makes dictionary import one map
+// insert per term with no string copies.
+func ReadBinary(b []byte) (*Dict, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad term count", ErrDictCorrupt)
+	}
+	b = b[k:]
+	// Pre-size from the smaller of the declared count and what the buffer
+	// could possibly hold (≥ 2 bytes per term), so a corrupt count cannot
+	// force a huge allocation before decoding fails.
+	hint := int(n)
+	if max := len(b)/2 + 1; hint > max {
+		hint = max
+	}
+	d := &Dict{
+		byID:  make([]rdf.Term, 0, hint),
+		byVal: make(map[rdf.Term]ID, hint),
+	}
+	for i := uint64(0); i < n; i++ {
+		t, used, err := rdf.DecodeTermInPlace(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: term %d: %v", ErrDictCorrupt, i+1, err)
+		}
+		b = b[used:]
+		if _, dup := d.byVal[t]; dup {
+			return nil, fmt.Errorf("%w: duplicate term %s", ErrDictCorrupt, t)
+		}
+		d.byID = append(d.byID, t)
+		d.byVal[t] = ID(len(d.byID))
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDictCorrupt, len(b))
+	}
+	return d, nil
+}

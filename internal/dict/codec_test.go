@@ -1,0 +1,111 @@
+package dict
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestDictBinaryRoundTrip(t *testing.T) {
+	d := New()
+	var want []rdf.Term
+	for i := 0; i < 100; i++ {
+		tm := rdf.NewIRI(fmt.Sprintf("http://example.org/e%d", i))
+		d.Encode(tm)
+		want = append(want, tm)
+	}
+	d.Encode(rdf.NewLangLiteral("bonjour", "fr"))
+	want = append(want, rdf.NewLangLiteral("bonjour", "fr"))
+
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf, d.Len()); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if got.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", got.Len(), len(want))
+	}
+	for i, tm := range want {
+		id, ok := got.Lookup(tm)
+		if !ok || id != ID(i+1) {
+			t.Fatalf("Lookup(%v) = %d,%v; want %d", tm, id, ok, i+1)
+		}
+		if back := got.MustTerm(ID(i + 1)); back != tm {
+			t.Fatalf("Term(%d) = %v, want %v", i+1, back, tm)
+		}
+	}
+}
+
+// TestDictBinaryPrefix pins the point-in-time export: writing a recorded
+// earlier length serialises exactly that prefix even after more terms are
+// coined (what lets a background checkpoint snapshot a live dictionary).
+func TestDictBinaryPrefix(t *testing.T) {
+	d := New()
+	d.Encode(rdf.NewIRI("http://a"))
+	d.Encode(rdf.NewIRI("http://b"))
+	n := d.Len()
+	d.Encode(rdf.NewIRI("http://c"))
+
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf, n); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", got.Len())
+	}
+	if _, ok := got.Lookup(rdf.NewIRI("http://c")); ok {
+		t.Fatal("later term leaked into prefix export")
+	}
+}
+
+func TestDictReadBinaryRejectsCorrupt(t *testing.T) {
+	d := New()
+	d.Encode(rdf.NewIRI("http://a"))
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"truncated":       valid[:len(valid)-1],
+		"trailing":        append(append([]byte{}, valid...), 0),
+		"count over data": append([]byte{200}, valid[1:]...),
+		"duplicate terms": nil, // built below
+	}
+	dup := New()
+	dup.Encode(rdf.NewIRI("http://a"))
+	var dbuf bytes.Buffer
+	dup.WriteBinary(&dbuf, 1)
+	payload := dbuf.Bytes()[1:] // strip count byte (1 term < 0x80 → 1 byte)
+	cases["duplicate terms"] = append(append([]byte{2}, payload...), payload...)
+
+	for name, b := range cases {
+		if _, err := ReadBinary(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if n := d.Len(); n != 1 {
+		t.Fatalf("source dict mutated: %d", n)
+	}
+}
+
+func TestDictWriteBinaryBadLength(t *testing.T) {
+	d := New()
+	if err := d.WriteBinary(&bytes.Buffer{}, 5); err == nil {
+		t.Fatal("WriteBinary accepted n > Len")
+	}
+	if err := d.WriteBinary(&bytes.Buffer{}, -1); err == nil {
+		t.Fatal("WriteBinary accepted negative n")
+	}
+}

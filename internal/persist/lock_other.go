@@ -1,0 +1,15 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// Non-unix hosts get no advisory directory lock (flock is unavailable);
+// the operator must ensure a single process per data directory.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK, guaranteeing a
+// single DB per data directory: two processes recovering, appending and
+// garbage-collecting the same generation chain would destroy it. The kernel
+// releases the lock when the process dies, so a crash never leaves a stale
+// lock blocking recovery.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s is in use by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the advisory lock.
+func unlockDir(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}

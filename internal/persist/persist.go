@@ -1,0 +1,523 @@
+// Package persist is the durability layer of the serving stack: binary
+// snapshots of a whole serving state (dictionary + asserted triples +
+// optionally the saturated store), an append-only write-ahead log of
+// mutation batches, and crash recovery that stitches the two back together.
+//
+// The paper's economics say saturation is expensive to compute and cheap to
+// query; that only pays off across process lifetimes if G∞ survives a
+// restart. A persist.DB makes the materialised state a first-class durable
+// artifact (as distributed materialisation systems do): restart loads the
+// latest snapshot at near-memcpy speed instead of re-parsing N-Triples and
+// re-running saturation, then replays the WAL tail through the normal
+// Insert/Delete path.
+//
+// # On-disk layout
+//
+// A data directory holds generations. Generation g consists of snap-g (the
+// serving state at the instant generation g began; absent for the bootstrap
+// generation, whose starting state is empty) and wal-g (the mutation batches
+// applied during generation g). A checkpoint ends generation g at a
+// mutation-batch boundary: the writer captures O(1) copy-on-write snapshots
+// of its stores, rotates appends to wal-(g+1), and a background goroutine
+// serialises snap-(g+1); only after snap-(g+1) is durable are the files of
+// generation g (and older) deleted. WAL generations therefore always chain
+// contiguously from the newest durable snapshot to the present, even across
+// a crash mid-checkpoint.
+//
+// # Recovery
+//
+// Open picks the highest generation with a valid snapshot (falling back past
+// an unreadable one when an older valid snapshot plus the intervening WALs
+// still cover the full history), loads it, and exposes the concatenated WAL
+// tail for the caller to replay through its strategy. A torn final record —
+// the signature of a crash mid-append — is truncated away; damage anywhere
+// else refuses to open rather than silently dropping applied history.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rdf"
+)
+
+// SyncPolicy controls when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended record (default): an
+	// acknowledged batch survives power loss.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: an acknowledged batch survives a
+	// process crash but the last moments before power loss may be lost.
+	SyncNever
+)
+
+// Options tunes a DB.
+type Options struct {
+	// Sync is the WAL fsync policy.
+	Sync SyncPolicy
+	// CheckpointBytes triggers a checkpoint when the active WAL grows past
+	// this size. Zero means DefaultCheckpointBytes; negative disables the
+	// size trigger.
+	CheckpointBytes int64
+	// CheckpointRecords triggers a checkpoint after this many WAL records.
+	// Zero means DefaultCheckpointRecords; negative disables the trigger.
+	CheckpointRecords int
+}
+
+// Default checkpoint thresholds. Recovery replays the WAL tail through the
+// normal Insert/Delete maintenance path, which costs roughly a millisecond
+// per record on a materialised store (each batch pays the copy-on-write
+// detach plus incremental reasoning), so the record bound — not the byte
+// bound — is what keeps worst-case recovery in low seconds; the byte bound
+// is a backstop against pathologically large batches.
+const (
+	DefaultCheckpointBytes   = 64 << 20
+	DefaultCheckpointRecords = 4096
+)
+
+// ErrDBClosed is returned by operations on a closed DB.
+var ErrDBClosed = errors.New("persist: DB closed")
+
+// DB is an open data directory: the state recovered from it plus the active
+// WAL. Append, CheckpointDue, Checkpoint and CheckpointAsync must be
+// serialized by the caller (the server's single writer goroutine does this
+// naturally); Close may be called from any goroutine.
+type DB struct {
+	dir  string
+	opts Options
+
+	loaded *LoadedState // nil when the directory held no snapshot
+	tail   []Mutation   // WAL records newer than the loaded snapshot
+
+	lock *os.File // exclusive advisory lock on the directory (nil on non-unix)
+
+	mu         sync.Mutex // guards the fields below (append vs rotate vs close)
+	gen        uint64     // active WAL generation
+	wal        *os.File
+	walSize    int64
+	walRecords int
+	buf        []byte // record encode scratch
+	closed     bool
+
+	ckptBusy atomic.Bool
+	bg       sync.WaitGroup
+	bgMu     sync.Mutex
+	bgErr    error // first background checkpoint failure (sticky)
+}
+
+// Open opens (creating if needed) the data directory and recovers its state:
+// the newest valid snapshot is loaded and the WAL chain above it is decoded,
+// with a torn final append truncated away. The caller replays the tail via
+// ReplayTail, then appends new batches with Append.
+func Open(dir string, opts Options) (*DB, error) {
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if opts.CheckpointRecords == 0 {
+		opts.CheckpointRecords = DefaultCheckpointRecords
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// One DB per directory: concurrent processes recovering, appending and
+	// garbage-collecting the same generation chain would destroy it. The
+	// lock dies with the process, so a crash never blocks recovery.
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			unlockDir(lock)
+		}
+	}()
+	// Sweep snapshot temporaries orphaned by a crash mid-checkpoint: the
+	// atomic rename means they were never part of the durable state, and
+	// nothing else ever deletes them.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*.snap.tmp")); err == nil {
+		for _, tmp := range tmps {
+			os.Remove(tmp)
+		}
+	}
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	db := &DB{dir: dir, opts: opts, gen: 1, lock: lock}
+	activeRecords := 0
+
+	// Load the newest valid snapshot; fall back past unreadable ones (a
+	// crash cannot produce a half-renamed snapshot, but bit rot can produce
+	// an unreadable one, and an older snapshot plus the still-present WAL
+	// chain covers the same history).
+	var snapErrs []error
+	for i := len(snaps) - 1; i >= 0; i-- {
+		ls, err := readSnapshotFile(snapshotPath(dir, snaps[i]))
+		if err != nil {
+			snapErrs = append(snapErrs, fmt.Errorf("snap %d: %w", snaps[i], err))
+			continue
+		}
+		db.loaded = ls
+		db.gen = snaps[i]
+		break
+	}
+	if db.loaded == nil && len(snaps) > 0 {
+		// Snapshots exist but none loads: starting empty would silently
+		// abandon durable history.
+		return nil, fmt.Errorf("persist: no loadable snapshot in %s: %w", dir, errors.Join(snapErrs...))
+	}
+	if db.loaded == nil && len(wals) > 0 {
+		// Bootstrap directory that already has WALs: resume their chain.
+		db.gen = wals[0]
+	}
+
+	// Decode the WAL chain from the recovered generation upward. The chain
+	// must be contiguous; a gap means files were deleted out from under us.
+	expected := db.gen
+	for _, g := range wals {
+		if g < db.gen {
+			continue // superseded by the loaded snapshot; removed below
+		}
+		if g != expected {
+			return nil, fmt.Errorf("%w: generation gap, wal %d where %d was expected", ErrWALCorrupt, g, expected)
+		}
+		expected = g + 1
+		path := walPath(dir, g)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		recs, validLen, err := decodeWAL(b, g)
+		if err != nil {
+			return nil, fmt.Errorf("persist: %s: %w", path, err)
+		}
+		if validLen < int64(len(b)) {
+			if g != wals[len(wals)-1] {
+				return nil, fmt.Errorf("%w: %s has a torn record but is not the newest log", ErrWALCorrupt, path)
+			}
+			if err := os.Truncate(path, validLen); err != nil {
+				return nil, err
+			}
+		}
+		db.tail = append(db.tail, recs...)
+		activeRecords = len(recs)
+	}
+	if expected > db.gen {
+		db.gen = expected - 1 // newest WAL seen stays the active generation
+	}
+
+	// Open (or create) the active WAL for appending. The record counter is
+	// seeded with the recovered tail of the active generation, so the
+	// CheckpointRecords trigger accounts for replay debt already on disk —
+	// otherwise a crash-looping server could grow the tail (and the next
+	// boot's recovery time) without ever tripping a checkpoint.
+	if err := db.openActiveWAL(); err != nil {
+		return nil, err
+	}
+	db.walRecords = activeRecords
+	// Remove files superseded by the loaded snapshot.
+	db.removeBelow(db.loadedGen())
+	opened = true
+	return db, nil
+}
+
+// loadedGen returns the generation recovery started from.
+func (db *DB) loadedGen() uint64 {
+	if db.loaded != nil {
+		return db.loaded.Generation
+	}
+	return 0
+}
+
+// openActiveWAL opens wal-gen for appending, creating it with a fresh header
+// when absent. Called with db.mu effectively held (Open and rotate).
+func (db *DB) openActiveWAL() error {
+	path := walPath(db.dir, db.gen)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(encodeWALHeader(db.gen)); err != nil {
+			f.Close()
+			return err
+		}
+		if db.opts.Sync == SyncAlways {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return err
+			}
+			if err := syncDir(db.dir); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		db.walSize = int64(walHeaderLen)
+	} else {
+		db.walSize = st.Size()
+	}
+	db.wal = f
+	db.walRecords = 0
+	return nil
+}
+
+// State returns the snapshot-recovered state, or nil when the directory was
+// empty (bootstrap). The caller takes ownership of the contained structures.
+func (db *DB) State() *LoadedState { return db.loaded }
+
+// TailLen returns the number of WAL records recovered above the snapshot.
+func (db *DB) TailLen() int { return len(db.tail) }
+
+// ReplayTail feeds the recovered WAL tail, in order, through the given
+// insert/delete callbacks — wire these to the strategy's (or server's)
+// normal Insert/Delete so replayed batches take the ordinary maintenance
+// path. It returns the number of records replayed. The tail is consumed.
+func (db *DB) ReplayTail(insert, del func(...rdf.Triple) error) (int, error) {
+	n := 0
+	for _, m := range db.tail {
+		var err error
+		if m.Del {
+			err = del(m.Triples...)
+		} else {
+			err = insert(m.Triples...)
+		}
+		if err != nil {
+			return n, fmt.Errorf("persist: replaying record %d: %w", n, err)
+		}
+		n++
+	}
+	db.tail = nil
+	return n, nil
+}
+
+// Append durably logs one mutation batch (write-ahead: call it before
+// applying the batch to the strategy). Replay applies inserts and deletes
+// through the normal strategy paths, which absorb duplicates, so a batch
+// that was logged but not yet applied at the moment of a crash replays
+// harmlessly.
+func (db *DB) Append(del bool, ts []rdf.Triple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrDBClosed
+	}
+	db.buf = appendWALRecord(db.buf[:0], del, ts)
+	if len(db.buf) > walRecHdrLen+maxWALRecord {
+		return errRecordTooLarge
+	}
+	if _, err := db.wal.Write(db.buf); err != nil {
+		return err
+	}
+	if db.opts.Sync == SyncAlways {
+		if err := db.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	db.walSize += int64(len(db.buf))
+	db.walRecords++
+	return nil
+}
+
+// CheckpointDue reports whether the active WAL has grown past the configured
+// checkpoint thresholds and no checkpoint is already in flight.
+func (db *DB) CheckpointDue() bool {
+	if db.ckptBusy.Load() {
+		return false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.opts.CheckpointBytes > 0 && db.walSize >= db.opts.CheckpointBytes {
+		return true
+	}
+	return db.opts.CheckpointRecords > 0 && db.walRecords >= db.opts.CheckpointRecords
+}
+
+// Checkpoint synchronously ends the current generation with the given state:
+// appends rotate to a fresh WAL, the snapshot is written and fsynced, and
+// superseded files are removed. It blocks until the snapshot is durable —
+// use it for bootstrap (initial bulk load) and final (clean shutdown)
+// checkpoints, where the caller must not proceed on a promise.
+func (db *DB) Checkpoint(st State) error {
+	gen, err := db.rotate()
+	if err != nil {
+		return err
+	}
+	return db.writeCheckpoint(gen, st)
+}
+
+// CheckpointAsync ends the current generation like Checkpoint but serialises
+// the snapshot on a background goroutine, so the writer only pays the WAL
+// rotation (one file create). A failure is sticky: it surfaces on Close and
+// suppresses file GC, leaving the previous chain intact for recovery. No-op
+// if a checkpoint is already in flight.
+func (db *DB) CheckpointAsync(st State) error {
+	if !db.ckptBusy.CompareAndSwap(false, true) {
+		return nil
+	}
+	gen, err := db.rotate()
+	if err != nil {
+		db.ckptBusy.Store(false)
+		return err
+	}
+	db.bg.Add(1)
+	go func() {
+		defer db.bg.Done()
+		defer db.ckptBusy.Store(false)
+		if err := db.writeCheckpoint(gen, st); err != nil {
+			db.bgMu.Lock()
+			if db.bgErr == nil {
+				db.bgErr = err
+			}
+			db.bgMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// rotate switches appends to the next generation's WAL and returns that
+// generation. The old WAL is synced and closed; its records are covered by
+// the snapshot the caller is about to write.
+func (db *DB) rotate() (uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrDBClosed
+	}
+	if err := db.wal.Sync(); err != nil {
+		return 0, err
+	}
+	if err := db.wal.Close(); err != nil {
+		return 0, err
+	}
+	db.gen++
+	if err := db.openActiveWAL(); err != nil {
+		return 0, err
+	}
+	return db.gen, nil
+}
+
+// writeCheckpoint serialises st as snap-gen and garbage-collects the
+// generations it supersedes.
+func (db *DB) writeCheckpoint(gen uint64, st State) error {
+	if err := writeSnapshotFile(db.dir, gen, st); err != nil {
+		return err
+	}
+	db.removeBelow(gen)
+	return nil
+}
+
+// removeBelow deletes snapshots and WALs of generations older than gen.
+func (db *DB) removeBelow(gen uint64) {
+	snaps, wals, err := scanDir(db.dir)
+	if err != nil {
+		return
+	}
+	for _, g := range snaps {
+		if g < gen {
+			os.Remove(snapshotPath(db.dir, g))
+		}
+	}
+	for _, g := range wals {
+		if g < gen {
+			os.Remove(walPath(db.dir, g))
+		}
+	}
+}
+
+// Dirty reports whether the active WAL holds any records — i.e. whether the
+// present state is not fully captured by the newest snapshot. Clean-shutdown
+// paths use it to skip a pointless final checkpoint.
+func (db *DB) Dirty() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.walSize > int64(walHeaderLen)
+}
+
+// Generation returns the active WAL generation (stats, tests).
+func (db *DB) Generation() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen
+}
+
+// Close waits for any in-flight checkpoint, syncs and closes the active WAL,
+// and returns the first background checkpoint error, if any. The DB must
+// not be used afterwards.
+func (db *DB) Close() error {
+	db.bg.Wait()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	err := db.wal.Sync()
+	if cerr := db.wal.Close(); err == nil {
+		err = cerr
+	}
+	unlockDir(db.lock)
+	db.bgMu.Lock()
+	if err == nil {
+		err = db.bgErr
+	}
+	db.bgMu.Unlock()
+	return err
+}
+
+// scanDir lists the snapshot and WAL generations present in dir, ascending.
+func scanDir(dir string) (snaps, wals []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var g uint64
+		switch {
+		case matchGen(name, "snap-", ".snap", &g):
+			snaps = append(snaps, g)
+		case matchGen(name, "wal-", ".wal", &g):
+			wals = append(wals, g)
+		}
+	}
+	slices.Sort(snaps)
+	slices.Sort(wals)
+	return snaps, wals, nil
+}
+
+// matchGen parses names of the form prefix + 16 hex digits + suffix.
+func matchGen(name, prefix, suffix string, g *uint64) bool {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	hex := name[len(prefix) : len(prefix)+16]
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := hex[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return false
+		}
+	}
+	*g = v
+	return true
+}

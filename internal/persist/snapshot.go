@@ -1,0 +1,296 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dict"
+	"repro/internal/store"
+)
+
+// Snapshot files. A snapshot is the durable form of one serving state at a
+// mutation-batch boundary: the term dictionary, the store of asserted
+// triples (G), and — when the strategy materialises — the saturated store
+// (G∞), so a restart skips re-saturation entirely. Layout:
+//
+//	magic   "WRSNAP"            6 bytes
+//	version uint16 LE           format version; mismatch is rejected
+//	gen     uint64 LE           generation the snapshot begins
+//	flags   uint32 LE           bit 0: saturated section present
+//	section dict                framed (see below)
+//	section base store          framed
+//	section saturated store     framed, only when flagged
+//
+// Each section is [length uint64 LE][payload][crc32c uint32 LE]; the CRC is
+// verified before the payload is handed to the dict/store decoders, so bit
+// rot and torn writes surface as ErrSnapshotCorrupt, never as a decoder
+// panic or a silently wrong store. Files are written to a temporary name,
+// fsynced, and atomically renamed into place; a crash mid-write therefore
+// never leaves a file the loader would consider.
+//
+// The encoding is canonical — same state, same bytes — because the store and
+// dict codecs are, and the header holds no timestamps. Golden-file tests
+// pin the bytes so any codec change must bump FormatVersion.
+
+// FormatVersion is the current snapshot and WAL format version. Bump it on
+// any change to the file layouts or the dict/store/term codecs.
+const FormatVersion = 1
+
+const (
+	snapMagic   = "WRSNAP"
+	flagHasGInf = 1 << 0
+	// flagBaseSet marks the base section as a single-index TripleSet image
+	// (written by the saturation strategy, whose base does only membership)
+	// rather than a full three-index store image.
+	flagBaseSet = 1 << 1
+)
+
+// sectionPad returns the zero-padding after an n-byte section payload that
+// keeps the next section 4-byte aligned in the file (the 20-byte header,
+// 8-byte length prefixes and 4-byte CRCs preserve the invariant).
+func sectionPad(n int) int { return (4 - n%4) % 4 }
+
+var (
+	// ErrSnapshotCorrupt marks an unreadable snapshot file (bad magic,
+	// failed CRC, truncation, or an inner codec error).
+	ErrSnapshotCorrupt = errors.New("persist: corrupt snapshot")
+	// ErrVersionMismatch marks a snapshot or WAL written by a different
+	// format version; recovery refuses it rather than guessing.
+	ErrVersionMismatch = errors.New("persist: format version mismatch")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// State is the writer-side view of one checkpointable serving state. Base
+// and Saturated are typically O(1) copy-on-write snapshots, and DictLen a
+// dictionary length recorded at the same mutation-batch boundary — the
+// append-only dictionary makes that prefix immutable, so a background
+// checkpoint can serialise the whole State while the server keeps writing.
+type State struct {
+	// Dict is the live dictionary; DictLen the number of terms to persist.
+	Dict    *dict.Dict
+	DictLen int
+	// Base holds the asserted triples (G) as a full store image; BaseSet
+	// holds them as a single-index set image instead (the saturation
+	// strategy's choice — a third of the bytes and load work). Exactly one
+	// of the two must be set.
+	Base    store.BinaryView
+	BaseSet store.BinaryView
+	// Saturated holds G∞ when the strategy materialises it; nil otherwise.
+	Saturated store.BinaryView
+}
+
+// LoadedState is the result of reading a snapshot: freshly built, mutable
+// structures owned by the caller.
+type LoadedState struct {
+	Dict *dict.Dict
+	// Base or BaseSet holds the asserted triples, matching the form the
+	// writing strategy persisted (exactly one is non-nil).
+	Base    *store.Store
+	BaseSet *store.TripleSet
+	// Saturated is G∞, nil when the snapshot carries no saturation.
+	Saturated  *store.Store
+	Generation uint64
+}
+
+func snapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", gen))
+}
+
+// writeSnapshotFile serialises st as generation gen into dir, atomically.
+func writeSnapshotFile(dir string, gen uint64, st State) error {
+	var body bytes.Buffer
+	header := make([]byte, 0, 20)
+	header = append(header, snapMagic...)
+	header = binary.LittleEndian.AppendUint16(header, FormatVersion)
+	header = binary.LittleEndian.AppendUint64(header, gen)
+	if (st.Base == nil) == (st.BaseSet == nil) {
+		return fmt.Errorf("persist: snapshot state needs exactly one of Base and BaseSet")
+	}
+	flags := uint32(0)
+	if st.Saturated != nil {
+		flags |= flagHasGInf
+	}
+	if st.BaseSet != nil {
+		flags |= flagBaseSet
+	}
+	header = binary.LittleEndian.AppendUint32(header, flags)
+	body.Write(header)
+
+	// Sections are serialised straight into the single body buffer — the
+	// length prefix is backpatched after the payload is written, so peak
+	// memory is one copy of the image, not two.
+	writeSection := func(fill func(*bytes.Buffer) error) error {
+		frameAt := body.Len()
+		body.Write(make([]byte, 8)) // length placeholder
+		start := body.Len()
+		if err := fill(&body); err != nil {
+			return err
+		}
+		n := body.Len() - start
+		binary.LittleEndian.PutUint64(body.Bytes()[frameAt:], uint64(n))
+		// Pad the payload to a 4-byte boundary so every section starts
+		// 4-aligned within the file: the store decoder's zero-copy path
+		// reinterprets aligned ID runs in place.
+		for pad := sectionPad(n); pad > 0; pad-- {
+			body.WriteByte(0)
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body.Bytes()[start:start+n], crcTable))
+		body.Write(crc[:])
+		return nil
+	}
+	if err := writeSection(func(w *bytes.Buffer) error { return st.Dict.WriteBinary(w, st.DictLen) }); err != nil {
+		return fmt.Errorf("persist: snapshot dict section: %w", err)
+	}
+	base := st.Base
+	if base == nil {
+		base = st.BaseSet
+	}
+	if err := writeSection(func(w *bytes.Buffer) error { return base.WriteBinary(w) }); err != nil {
+		return fmt.Errorf("persist: snapshot base section: %w", err)
+	}
+	if st.Saturated != nil {
+		if err := writeSection(func(w *bytes.Buffer) error { return st.Saturated.WriteBinary(w) }); err != nil {
+			return fmt.Errorf("persist: snapshot saturated section: %w", err)
+		}
+	}
+
+	final := snapshotPath(dir, gen)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, body.Bytes()); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readSnapshotFile loads and validates one snapshot file.
+func readSnapshotFile(path string) (*LoadedState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(b)
+}
+
+// decodeSnapshot decodes a whole snapshot image. Exposed package-internally
+// so the fuzz target can drive it directly.
+func decodeSnapshot(b []byte) (*LoadedState, error) {
+	if len(b) < len(snapMagic)+2 {
+		return nil, fmt.Errorf("%w: truncated header", ErrSnapshotCorrupt)
+	}
+	if string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	b = b[len(snapMagic):]
+	version := binary.LittleEndian.Uint16(b)
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersionMismatch, version, FormatVersion)
+	}
+	b = b[2:]
+	if len(b) < 12 {
+		return nil, fmt.Errorf("%w: truncated header", ErrSnapshotCorrupt)
+	}
+	gen := binary.LittleEndian.Uint64(b)
+	flags := binary.LittleEndian.Uint32(b[8:])
+	b = b[12:]
+	if flags&^uint32(flagHasGInf|flagBaseSet) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrSnapshotCorrupt, flags)
+	}
+
+	section := func(name string) ([]byte, error) {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("%w: truncated %s section header", ErrSnapshotCorrupt, name)
+		}
+		n := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		if n > uint64(len(b)) || uint64(len(b))-n < uint64(sectionPad(int(n)))+4 {
+			return nil, fmt.Errorf("%w: %s section length %d exceeds file", ErrSnapshotCorrupt, name, n)
+		}
+		payload := b[:n]
+		b = b[n+uint64(sectionPad(int(n))):]
+		crc := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return nil, fmt.Errorf("%w: %s section CRC mismatch", ErrSnapshotCorrupt, name)
+		}
+		return payload, nil
+	}
+
+	dictPayload, err := section("dict")
+	if err != nil {
+		return nil, err
+	}
+	d, err := dict.ReadBinary(dictPayload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	// Store sections are decoded with the dictionary length as ID bound, so
+	// "every stored ID resolves to a term" — the one cross-section invariant
+	// the per-section decoders cannot see alone — is enforced during the
+	// decode pass itself.
+	maxID := dict.ID(d.Len())
+	basePayload, err := section("base")
+	if err != nil {
+		return nil, err
+	}
+	ls := &LoadedState{Dict: d, Generation: gen}
+	if flags&flagBaseSet != 0 {
+		if ls.BaseSet, err = store.ReadSetBinary(basePayload, maxID); err != nil {
+			return nil, fmt.Errorf("%w: base set: %v", ErrSnapshotCorrupt, err)
+		}
+	} else if ls.Base, err = store.ReadBinaryChecked(basePayload, maxID); err != nil {
+		return nil, fmt.Errorf("%w: base: %v", ErrSnapshotCorrupt, err)
+	}
+	if flags&flagHasGInf != 0 {
+		satPayload, err := section("saturated")
+		if err != nil {
+			return nil, err
+		}
+		if ls.Saturated, err = store.ReadBinaryChecked(satPayload, maxID); err != nil {
+			return nil, fmt.Errorf("%w: saturated: %v", ErrSnapshotCorrupt, err)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(b))
+	}
+	return ls, nil
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,153 @@
+package rdf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unsafe"
+)
+
+// Binary term codec. Terms are the unit of serialisation shared by the
+// persistence layer's two artifacts: the dictionary section of a snapshot
+// stores every coined term once in ID order, and WAL mutation records store
+// triples term-level so they replay through the normal Insert/Delete path
+// regardless of how the dictionary has evolved since.
+//
+// Encoding: one tag byte (term kind in the low bits, presence flags for the
+// literal's datatype and language tag above), then each present string as a
+// uvarint length followed by raw bytes. The encoding is self-delimiting and
+// strictly validated on decode — an unknown kind, a stray flag, or a length
+// running past the buffer is an error, never a panic — because WAL and
+// snapshot payloads must be safely decodable from a half-trusted disk.
+
+// Tag byte layout for the binary term codec.
+const (
+	termKindMask  = 0x03 // low two bits: TermKind
+	termFlagDtype = 0x04 // literal carries a datatype IRI
+	termFlagLang  = 0x08 // literal carries a language tag
+	termFlagsAll  = termKindMask | termFlagDtype | termFlagLang
+)
+
+// ErrTermCorrupt is wrapped by every term-decoding error.
+var ErrTermCorrupt = errors.New("rdf: corrupt binary term")
+
+// AppendTerm appends the binary encoding of t to b and returns the extended
+// slice (append-style, so batch encoders reuse one buffer).
+func AppendTerm(b []byte, t Term) []byte {
+	tag := byte(t.Kind) & termKindMask
+	if t.Datatype != "" {
+		tag |= termFlagDtype
+	}
+	if t.Lang != "" {
+		tag |= termFlagLang
+	}
+	b = append(b, tag)
+	b = appendString(b, t.Value)
+	if tag&termFlagDtype != 0 {
+		b = appendString(b, t.Datatype)
+	}
+	if tag&termFlagLang != 0 {
+		b = appendString(b, t.Lang)
+	}
+	return b
+}
+
+// DecodeTerm decodes one term from the front of b, returning the term and
+// the number of bytes consumed. Errors wrap ErrTermCorrupt.
+func DecodeTerm(b []byte) (Term, int, error) {
+	return decodeTerm(b, false)
+}
+
+// DecodeTermInPlace is DecodeTerm with zero-copy strings: the returned
+// term's Value/Datatype/Lang alias b, so the caller must guarantee b is
+// never modified and outlives every use of the term. The snapshot loader
+// uses it to decode a whole dictionary without one string copy (the
+// snapshot image stays alive regardless, pinned by the stores' aliased
+// index leaves); transient buffers like WAL reads must use DecodeTerm.
+func DecodeTermInPlace(b []byte) (Term, int, error) {
+	return decodeTerm(b, true)
+}
+
+func decodeTerm(b []byte, inPlace bool) (Term, int, error) {
+	if len(b) == 0 {
+		return Term{}, 0, fmt.Errorf("%w: empty buffer", ErrTermCorrupt)
+	}
+	tag := b[0]
+	if tag&^byte(termFlagsAll) != 0 {
+		return Term{}, 0, fmt.Errorf("%w: unknown tag bits 0x%02x", ErrTermCorrupt, tag)
+	}
+	kind := TermKind(tag & termKindMask)
+	if kind != Literal && tag&(termFlagDtype|termFlagLang) != 0 {
+		return Term{}, 0, fmt.Errorf("%w: literal flags on %s term", ErrTermCorrupt, kind)
+	}
+	if tag&termFlagDtype != 0 && tag&termFlagLang != 0 {
+		return Term{}, 0, fmt.Errorf("%w: literal with both datatype and language", ErrTermCorrupt)
+	}
+	n := 1
+	t := Term{Kind: kind}
+	var err error
+	if t.Value, n, err = decodeString(b, n, inPlace); err != nil {
+		return Term{}, 0, err
+	}
+	if tag&termFlagDtype != 0 {
+		if t.Datatype, n, err = decodeString(b, n, inPlace); err != nil {
+			return Term{}, 0, err
+		}
+	}
+	if tag&termFlagLang != 0 {
+		if t.Lang, n, err = decodeString(b, n, inPlace); err != nil {
+			return Term{}, 0, err
+		}
+	}
+	return t, n, nil
+}
+
+// AppendTriple appends the three terms of t.
+func AppendTriple(b []byte, t Triple) []byte {
+	b = AppendTerm(b, t.S)
+	b = AppendTerm(b, t.P)
+	return AppendTerm(b, t.O)
+}
+
+// DecodeTriple decodes one triple from the front of b, returning it and the
+// number of bytes consumed.
+func DecodeTriple(b []byte) (Triple, int, error) {
+	var t Triple
+	n := 0
+	for _, dst := range []*Term{&t.S, &t.P, &t.O} {
+		term, k, err := DecodeTerm(b[n:])
+		if err != nil {
+			return Triple{}, 0, err
+		}
+		*dst = term
+		n += k
+	}
+	return t, n, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// decodeString reads a uvarint-prefixed string starting at offset off and
+// returns the string and the offset past it. With inPlace the string aliases
+// b instead of copying (see DecodeTermInPlace for the obligations).
+func decodeString(b []byte, off int, inPlace bool) (string, int, error) {
+	l, k := binary.Uvarint(b[off:])
+	if k <= 0 {
+		return "", 0, fmt.Errorf("%w: bad string length", ErrTermCorrupt)
+	}
+	off += k
+	if l > uint64(len(b)-off) {
+		return "", 0, fmt.Errorf("%w: string length %d exceeds buffer", ErrTermCorrupt, l)
+	}
+	end := off + int(l)
+	if l == 0 {
+		return "", end, nil
+	}
+	if inPlace {
+		return unsafe.String(&b[off], int(l)), end, nil
+	}
+	return string(b[off:end]), end, nil
+}

@@ -1,0 +1,75 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func TestTermBinaryRoundTrip(t *testing.T) {
+	terms := []Term{
+		NewIRI("http://example.org/a"),
+		NewIRI(""),
+		NewLiteral("plain"),
+		NewLiteral(""),
+		NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"),
+		NewLangLiteral("chat", "FR"),
+		NewBlank("b0"),
+		NewVar("x"),
+		NewLiteral("weird \x00 bytes \xff\xfe and \"quotes\""),
+		NewIRI("http://example.org/with spaces <and> brackets"),
+	}
+	var buf []byte
+	for _, tm := range terms {
+		buf = AppendTerm(buf, tm)
+	}
+	for i, want := range terms {
+		got, n, err := DecodeTerm(buf)
+		if err != nil {
+			t.Fatalf("term %d: decode: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("term %d: got %+v, want %+v", i, got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d bytes left over", len(buf))
+	}
+}
+
+func TestTripleBinaryRoundTrip(t *testing.T) {
+	tr := T(NewIRI("http://e/s"), NewIRI("http://e/p"), NewLangLiteral("o", "en"))
+	b := AppendTriple(nil, tr)
+	got, n, err := DecodeTriple(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("DecodeTriple: n=%d err=%v", n, err)
+	}
+	if got != tr {
+		t.Fatalf("got %v, want %v", got, tr)
+	}
+}
+
+func TestDecodeTermRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             {},
+		"unknown tag bits":  {0xF0, 0},
+		"flags on IRI":      {0x04, 0},
+		"both dtype + lang": {0x0D, 0, 0, 0},
+		"truncated length":  {0x00},
+		"length past end":   {0x00, 0x10, 'a'},
+		"huge length":       {0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeTerm(b); err == nil {
+			t.Errorf("%s: decode accepted %v", name, b)
+		}
+	}
+}
+
+func TestDecodeTermTruncatedEverywhere(t *testing.T) {
+	full := AppendTerm(nil, NewTypedLiteral("abc", "http://dt"))
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeTerm(full[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes accepted", i)
+		}
+	}
+}

@@ -40,12 +40,12 @@ func MaterializeParallel(g *store.Store, rules []Rule, workers int) *Materializa
 	}
 	m := &Materialization{
 		st:    store.NewWithCapacity(g.Len()),
-		base:  make(map[store.Triple]struct{}, g.Len()),
+		base:  store.NewTripleSet(g.Len()),
 		rules: rules,
 	}
 	delta := make([]store.Triple, 0, g.Len())
 	g.ForEachMatch(store.Triple{}, func(t store.Triple) bool {
-		m.base[t] = struct{}{}
+		m.base.Add(t)
 		m.st.Add(t)
 		delta = append(delta, t)
 		return true

@@ -6,13 +6,17 @@ import (
 
 // Materialization is a saturated RDF graph with enough bookkeeping to
 // maintain the saturation under updates: the store holds G∞ = base ∪
-// derived, and the base set records which triples were explicitly asserted
+// derived, and the base store records which triples were explicitly asserted
 // (the "G" of the paper). Deletion maintenance uses DRed
 // (delete-and-rederive), which is sound for the recursive RDFS rules; see
 // Counting for the cheaper but cycle-unsafe alternative of [11].
+//
+// Both stores support O(1) copy-on-write snapshots, which is what lets the
+// persistence layer checkpoint a live materialization (base G and saturated
+// G∞ together, at a mutation-batch boundary) without stalling the writer.
 type Materialization struct {
 	st    *store.Store
-	base  map[store.Triple]struct{}
+	base  *store.TripleSet
 	rules []Rule
 	sc    scratch // reusable binding buffers for the join hot path
 
@@ -37,12 +41,12 @@ type Stats struct {
 func Materialize(g *store.Store, rules []Rule) *Materialization {
 	m := &Materialization{
 		st:    store.NewWithCapacity(g.Len()),
-		base:  make(map[store.Triple]struct{}, g.Len()),
+		base:  store.NewTripleSet(g.Len()),
 		rules: rules,
 	}
 	delta := make([]store.Triple, 0, g.Len())
 	g.ForEachMatch(store.Triple{}, func(t store.Triple) bool {
-		m.base[t] = struct{}{}
+		m.base.Add(t)
 		m.st.Add(t)
 		delta = append(delta, t)
 		return true
@@ -52,19 +56,30 @@ func Materialize(g *store.Store, rules []Rule) *Materialization {
 	return m
 }
 
+// Restore rebuilds a materialization from a previously saturated state
+// without re-running saturation: base is the set of asserted triples G,
+// saturated is its closure G∞ under the same rules (typically both just
+// loaded from a snapshot — the snapshot codec guarantees integrity, this
+// constructor trusts the pair). It takes ownership of both containers.
+func Restore(base *store.TripleSet, saturated *store.Store, rules []Rule) *Materialization {
+	return &Materialization{st: saturated, base: base, rules: rules}
+}
+
 // Store exposes the saturated store (G∞). Callers must not mutate it
 // directly; use Insert/Delete so the materialization stays consistent.
 func (m *Materialization) Store() *store.Store { return m.st }
 
+// BaseSet exposes the set of explicitly asserted triples (G). Callers must
+// not mutate it directly; use Insert/Delete. Like the store, it supports
+// O(1) snapshots for checkpointing.
+func (m *Materialization) BaseSet() *store.TripleSet { return m.base }
+
 // IsBase reports whether t was explicitly asserted.
-func (m *Materialization) IsBase(t store.Triple) bool {
-	_, ok := m.base[t]
-	return ok
-}
+func (m *Materialization) IsBase(t store.Triple) bool { return m.base.Contains(t) }
 
 // BaseLen returns |G| and DerivedLen returns |G∞| − |G|.
-func (m *Materialization) BaseLen() int    { return len(m.base) }
-func (m *Materialization) DerivedLen() int { return m.st.Len() - len(m.base) }
+func (m *Materialization) BaseLen() int    { return m.base.Len() }
+func (m *Materialization) DerivedLen() int { return m.st.Len() - m.base.Len() }
 
 // Rules returns the rule set the materialization maintains.
 func (m *Materialization) Rules() []Rule { return m.rules }
@@ -72,15 +87,11 @@ func (m *Materialization) Rules() []Rule { return m.rules }
 // Clone returns an independent copy (used by benchmarks to restore state
 // between destructive runs).
 func (m *Materialization) Clone() *Materialization {
-	c := &Materialization{
+	return &Materialization{
 		st:    m.st.Clone(),
-		base:  make(map[store.Triple]struct{}, len(m.base)),
+		base:  m.base.Clone(),
 		rules: m.rules,
 	}
-	for t := range m.base {
-		c.base[t] = struct{}{}
-	}
-	return c
 }
 
 // forEachInstantiation enumerates, for a triple t playing premise position
@@ -150,10 +161,9 @@ func (m *Materialization) Insert(ts ...store.Triple) int {
 	var delta []store.Triple
 	added := 0
 	for _, t := range ts {
-		if _, ok := m.base[t]; ok {
+		if !m.base.Add(t) {
 			continue
 		}
-		m.base[t] = struct{}{}
 		added++
 		if m.st.Add(t) {
 			delta = append(delta, t)
@@ -173,10 +183,9 @@ func (m *Materialization) Delete(ts ...store.Triple) int {
 	removedBase := 0
 	var seeds []store.Triple
 	for _, t := range ts {
-		if _, ok := m.base[t]; !ok {
+		if !m.base.Remove(t) {
 			continue
 		}
-		delete(m.base, t)
 		removedBase++
 		seeds = append(seeds, t)
 	}
@@ -205,7 +214,7 @@ func (m *Materialization) Delete(ts ...store.Triple) int {
 					if _, dead := over[c]; dead {
 						return
 					}
-					if _, isBase := m.base[c]; isBase {
+					if m.base.Contains(c) {
 						return // still explicitly asserted: keep
 					}
 					if !m.st.Contains(c) {

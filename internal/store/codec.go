@@ -1,0 +1,312 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+	"unsafe"
+
+	"repro/internal/dict"
+)
+
+// Binary export/import of a store's packed-key index layout, the basis of
+// the persistence layer's "near-memcpy" snapshot loading. The format mirrors
+// the in-memory structure: a triple count, then for each of the three
+// indexes (SPO, POS, OSP) its leaves as (packed key, length, ascending IDs)
+// triplets, keys in ascending order. Import therefore rebuilds each index in
+// one linear pass with zero searching — every leaf is constructed directly
+// from its decoded ID run (sorted slice or promoted set), and the per-index
+// side tables (subs, counts) fall out of the key ordering for free, because
+// ascending packed keys group all b values of one a contiguously and in
+// order. Serialising all three orders trades a 3× larger file for skipping
+// the entire Add path on load; snapshots are written by a background
+// checkpointer and read on process start, exactly the asymmetry that trade
+// wants.
+//
+// The encoding is canonical: one store state has exactly one serialisation
+// (keys sorted, leaf IDs sorted), so snapshot bytes are reproducible and can
+// be pinned as golden files. Decoding validates structure strictly — ordered
+// keys, ordered in-range IDs, index sizes agreeing with the header — and
+// never panics on malformed input; whole-file integrity (bit rot, torn
+// writes) is the caller's job via CRC framing (internal/persist).
+
+// ErrStoreCorrupt is wrapped by every store-decoding error.
+var ErrStoreCorrupt = errors.New("store: corrupt binary store")
+
+// hostLittleEndian reports whether this machine's byte order matches the
+// file format's, which is what lets the decoder alias ID runs in place.
+var hostLittleEndian = binary.NativeEndian.Uint16([]byte{0x01, 0x02}) == 0x0201
+
+// BinaryView is the read surface the binary exporter needs; *Store and
+// *Snapshot both implement it, so checkpoints serialise O(1) COW snapshots
+// while the live store keeps mutating.
+type BinaryView interface {
+	WriteBinary(w io.Writer) error
+	Len() int
+}
+
+var (
+	_ BinaryView = (*Store)(nil)
+	_ BinaryView = (*Snapshot)(nil)
+)
+
+// WriteBinary writes the canonical binary encoding of the view to w. It is a
+// read-only operation, safe under the store's concurrent read contract (the
+// ordered iteration of promoted leaves synchronises on the shared sort lock,
+// like SortedIDs).
+func (t *tables) WriteBinary(w io.Writer) error {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.size))
+	var err error
+	for _, ix := range []*index{&t.spo, &t.pos, &t.osp} {
+		if buf, err = appendIndexBinary(w, buf, ix, t.sortMu); err != nil {
+			return err
+		}
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// appendIndexBinary encodes one index section into buf, flushing full chunks
+// to w, and returns the remaining buffered tail for the caller to continue
+// with (or flush).
+func appendIndexBinary(w io.Writer, buf []byte, ix *index, sortMu *sync.Mutex) ([]byte, error) {
+	keys := make([]uint64, 0, len(ix.leaves))
+	for k := range ix.leaves {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ix.subs)))
+	for _, k := range keys {
+		l := ix.leaves[k]
+		var ids []dict.ID
+		if l.set == nil {
+			ids = l.small
+		} else {
+			sortMu.Lock()
+			ids = l.sortedView()
+			sortMu.Unlock()
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+		for _, id := range ids {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		}
+		if len(buf) >= 1<<16 {
+			if _, err := w.Write(buf); err != nil {
+				return nil, err
+			}
+			buf = buf[:0]
+		}
+	}
+	return buf, nil
+}
+
+// ReadBinary reconstructs a store from the encoding produced by WriteBinary.
+// The returned store is freshly owned by the caller (epoch 0, no snapshots).
+func ReadBinary(b []byte) (*Store, error) {
+	return ReadBinaryChecked(b, ^dict.ID(0))
+}
+
+// ReadBinaryChecked is ReadBinary with an ID bound: decoding fails if any
+// triple component exceeds maxID. Callers loading a store alongside the
+// dictionary it was encoded against pass the dictionary length, which makes
+// "every stored ID resolves to a term" a free by-product of the decode pass
+// instead of a separate full scan.
+//
+// Zero-copy: on a little-endian machine with b 4-byte aligned (persist's
+// section framing guarantees alignment), the returned store's leaves alias
+// b's ID runs in place — the "near-memcpy" load path — so the caller must
+// not modify b afterwards. The store itself may: each leaf's region belongs
+// to that leaf alone (in-place removal shifts only its own bytes, insertion
+// reallocates because the slices are at capacity), and the buffer stays
+// alive while any leaf references it. On other hosts the IDs are copied into
+// per-index arenas instead.
+func ReadBinaryChecked(b []byte, maxID dict.ID) (*Store, error) {
+	if maxID == dict.None {
+		maxID = ^dict.ID(0) // an all-wildcard bound means "no bound"
+	}
+	if len(b) < 8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrStoreCorrupt)
+	}
+	size := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	// Every triple occupies ≥ 4 bytes in each of the three index sections, so
+	// a header claiming more than the buffer can hold is corrupt — checked
+	// before pre-sizing anything, so a bad count cannot force allocation.
+	if size > uint64(len(b))/12 {
+		return nil, fmt.Errorf("%w: size %d exceeds buffer", ErrStoreCorrupt, size)
+	}
+	s := &Store{tables: tables{sortMu: &sync.Mutex{}, size: int(size)}}
+	for i, ix := range []*index{&s.spo, &s.pos, &s.osp} {
+		rest, err := readIndex(ix, b, int(size), maxID)
+		if err != nil {
+			return nil, fmt.Errorf("%w: index %d: %v", ErrStoreCorrupt, i, err)
+		}
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrStoreCorrupt, len(b))
+	}
+	return s, nil
+}
+
+// readIndex decodes one index section into ix, requiring its triple total to
+// equal size and every ID (key halves and leaf entries) to be ≤ maxID, and
+// returns the unconsumed remainder of b.
+func readIndex(ix *index, b []byte, size int, maxID dict.ID) ([]byte, error) {
+	if len(b) < 8 {
+		return nil, errors.New("truncated index header")
+	}
+	// Counts are validated in uint64 space before conversion: on 32-bit
+	// hosts a raw uint32 would wrap negative in int and slip past the bound
+	// checks straight into a make() panic, breaking the never-panic contract.
+	nLeaves64 := uint64(binary.LittleEndian.Uint32(b))
+	nSubs64 := uint64(binary.LittleEndian.Uint32(b[4:]))
+	b = b[8:]
+	if nLeaves64 > uint64(size) {
+		return nil, fmt.Errorf("leaf count %d exceeds size %d", nLeaves64, size)
+	}
+	if nSubs64 > nLeaves64 || (nLeaves64 > 0 && nSubs64 == 0) {
+		return nil, fmt.Errorf("sub count %d inconsistent with %d leaves", nSubs64, nLeaves64)
+	}
+	nLeaves, nSubs := int(nLeaves64), int(nSubs64) // ≤ size, which fits int
+	// Maps are pre-sized exactly — the format records the leaf count and the
+	// distinct-a count per index, so no map over- or under-shoots (an index
+	// like POS has millions of leaves but a handful of predicates; guessing
+	// either way wastes zeroing or rehashing).
+	ix.leaves = make(map[uint64]*postings, nLeaves)
+	ix.subs = make(map[dict.ID]*postings, nSubs)
+	ix.counts = make(map[dict.ID]int, nSubs)
+	// Sub lists and postings structs are carved out of contiguous arenas —
+	// one allocation each instead of one per leaf — sized by the exact
+	// totals the format implies: every leaf contributes one b value to one
+	// sub list, and postings structs number one per leaf plus one per
+	// distinct a. The incremental checks below keep appends within the
+	// arenas' capacity, so carved slices and struct pointers are never
+	// invalidated by reallocation. Leaf IDs alias the input in place when
+	// the host representation matches (see ReadBinaryChecked), falling back
+	// to one more arena otherwise.
+	//
+	// Every decoded leaf stays in the sorted-slice representation no matter
+	// its size — binary-search membership is valid at any length, the slice
+	// is the sorted view the merge joins want, and postings.add promotes an
+	// over-long slice to a hash set on the first mutation that touches it.
+	// Deferring promotion (and skipping the ID copy) is what makes loading
+	// "near-memcpy": for the read-only majority of leaves the file bytes ARE
+	// the index leaves.
+	alias := hostLittleEndian && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%4 == 0
+	var leafArena []dict.ID
+	if !alias {
+		leafArena = make([]dict.ID, 0, size)
+	}
+	subArena := make([]dict.ID, 0, nLeaves)
+	posArena := make([]postings, 0, nLeaves+nSubs)
+	var (
+		total    int
+		prevKey  uint64
+		curA     dict.ID // a value of the open sub run (0 = none)
+		subLen   int     // b values accumulated for curA (tail of subArena)
+		curCount int     // triples accumulated for curA
+		runs     int     // distinct a values seen; must not exceed nSubs
+	)
+	closeRun := func() {
+		if curA == 0 {
+			return
+		}
+		posArena = append(posArena, postings{small: subArena[len(subArena)-subLen : len(subArena) : len(subArena)]})
+		ix.subs[curA] = &posArena[len(posArena)-1]
+		ix.counts[curA] = curCount
+		subLen = 0
+		curCount = 0
+	}
+	for i := 0; i < nLeaves; i++ {
+		if len(b) < 12 {
+			return nil, errors.New("truncated leaf header")
+		}
+		key := binary.LittleEndian.Uint64(b)
+		n64 := uint64(binary.LittleEndian.Uint32(b[8:]))
+		b = b[12:]
+		if i > 0 && key <= prevKey {
+			return nil, fmt.Errorf("key %#x not above predecessor %#x", key, prevKey)
+		}
+		prevKey = key
+		a, bb := dict.ID(key>>32), dict.ID(key)
+		if a == dict.None || bb == dict.None {
+			return nil, fmt.Errorf("key %#x has a zero component", key)
+		}
+		if a > maxID || bb > maxID {
+			return nil, fmt.Errorf("key %#x beyond max ID %d", key, maxID)
+		}
+		if n64 == 0 {
+			return nil, fmt.Errorf("empty leaf %#x", key)
+		}
+		if n64 > uint64(len(b)/4) {
+			return nil, fmt.Errorf("leaf %#x length %d exceeds buffer", key, n64)
+		}
+		n := int(n64) // ≤ len(b)/4, which fits int
+		total += n
+		if total > size {
+			return nil, fmt.Errorf("index total exceeds declared size %d", size)
+		}
+		// Validate the ascending ID run, then either alias it in place or
+		// copy it into the arena.
+		var ids []dict.ID
+		if alias {
+			ids = unsafe.Slice((*dict.ID)(unsafe.Pointer(unsafe.SliceData(b))), n)
+			prev := dict.ID(0)
+			for _, id := range ids {
+				if id <= prev {
+					return nil, fmt.Errorf("leaf %#x IDs not strictly ascending", key)
+				}
+				prev = id
+			}
+			if ids[n-1] > maxID {
+				return nil, fmt.Errorf("leaf %#x holds ID %d beyond max ID %d", key, ids[n-1], maxID)
+			}
+		} else {
+			start := len(leafArena)
+			prev := dict.ID(0)
+			for j := 0; j < n; j++ {
+				id := dict.ID(binary.LittleEndian.Uint32(b[4*j:]))
+				if id <= prev {
+					return nil, fmt.Errorf("leaf %#x IDs not strictly ascending", key)
+				}
+				prev = id
+				leafArena = append(leafArena, id)
+			}
+			if prev > maxID {
+				return nil, fmt.Errorf("leaf %#x holds ID %d beyond max ID %d", key, prev, maxID)
+			}
+			ids = leafArena[start:len(leafArena):len(leafArena)]
+		}
+		b = b[4*n:]
+		posArena = append(posArena, postings{small: ids})
+		ix.leaves[key] = &posArena[len(posArena)-1]
+		if a != curA {
+			// Checked before closeRun appends: exceeding the declared sub
+			// count would grow posArena past its capacity and invalidate
+			// every pointer already taken into it.
+			if runs++; runs > nSubs {
+				return nil, fmt.Errorf("more than %d distinct first components", nSubs)
+			}
+			closeRun()
+			curA = a
+		}
+		subArena = append(subArena, bb)
+		subLen++
+		curCount += n
+	}
+	closeRun()
+	if total != size {
+		return nil, fmt.Errorf("index holds %d triples, header says %d", total, size)
+	}
+	if len(ix.subs) != nSubs {
+		return nil, fmt.Errorf("index holds %d distinct first components, header says %d", len(ix.subs), nSubs)
+	}
+	return b, nil
+}

@@ -59,7 +59,10 @@ func (p *postings) add(c dict.ID) bool {
 		p.small = slices.Insert(p.small, i, c)
 		return true
 	}
-	p.set = make(map[dict.ID]struct{}, 2*promoteAt)
+	// Leaves loaded from a binary snapshot may arrive far longer than
+	// promoteAt (promotion is deferred to this first mutation), so size the
+	// set from the actual length.
+	p.set = make(map[dict.ID]struct{}, 2*max(promoteAt, len(p.small)))
 	for _, v := range p.small {
 		p.set[v] = struct{}{}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/persist"
 )
 
 // ServerOptions tunes a Server's mutation batching.
@@ -28,6 +29,23 @@ type ServerOptions struct {
 	// final Flush/Close latency) without bound. Zero means
 	// DefaultMaxPending; negative disables the cap.
 	MaxPending int
+	// DB enables durability: every applied mutation run is appended to the
+	// write-ahead log before it reaches the strategy, checkpoints are taken
+	// at the DB's configured thresholds (from O(1) copy-on-write state
+	// snapshots, so writes never stall on serialisation), and Close writes a
+	// final checkpoint. The caller opens the DB, replays its recovered tail
+	// through the strategy, hands it here, and closes it after Close. The
+	// strategy must implement core.DurableStrategy for checkpointing (all
+	// built-in strategies do; a bare WAL still works without it).
+	//
+	// A WAL append failure is sticky: the failed batch and everything after
+	// it are not applied, and Insert/Delete/Flush return the error — the
+	// server refuses to diverge from its durable history.
+	DB *persist.DB
+	// NoFinalCheckpoint skips the checkpoint Close normally writes when the
+	// WAL is non-empty (used by crash-simulation tests; production servers
+	// want the faster next boot).
+	NoFinalCheckpoint bool
 }
 
 // Default batching parameters: small enough that readers lag writers by
@@ -78,15 +96,30 @@ var ErrServerClosed = errors.New("webreason: server closed")
 // whichever comes first. The queue is bounded by MaxPending: when producers
 // sustainedly outrun the applier, Insert/Delete block until it catches up
 // rather than growing the backlog (and the staleness window) without bound.
+//
+// # Durability
+//
+// With ServerOptions.DB set, the applier write-ahead logs every mutation run
+// before handing it to the strategy, schedules checkpoints at the DB's
+// thresholds from O(1) copy-on-write state captures, and Close ends the log
+// with a final checkpoint. Because logging happens at batch application
+// (not enqueue), the durable history is exactly the sequence of applied
+// batches: recovery replays the WAL tail and reaches precisely the state a
+// reader of the crashed server could last have observed, plus any batches
+// that were logged but whose application the crash cut short.
 type Server struct {
 	strat core.Strategy
 	opts  ServerOptions
+	// durable is strat's checkpoint surface when opts.DB is set and the
+	// strategy supports it.
+	durable core.DurableStrategy
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled when applied advances
 	queue    []mutation
 	enqueued uint64 // total mutation calls accepted
 	applied  uint64 // total mutation calls applied by the writer
+	durErr   error  // sticky WAL append failure; fails further mutations
 	closed   bool
 
 	kick chan struct{} // nudges the writer loop (capacity 1)
@@ -122,6 +155,11 @@ func NewServer(s Strategy, opts ServerOptions) *Server {
 		opts:  opts,
 		kick:  make(chan struct{}, 1),
 		done:  make(chan struct{}),
+	}
+	if opts.DB != nil {
+		if ds, ok := s.(core.DurableStrategy); ok {
+			srv.durable = ds
+		}
 	}
 	srv.cond = sync.NewCond(&srv.mu)
 	srv.flushTimer = time.NewTimer(time.Hour)
@@ -167,6 +205,11 @@ func (s *Server) enqueue(del bool, ts []Triple) error {
 		s.mu.Unlock()
 		return ErrServerClosed
 	}
+	if s.durErr != nil {
+		err := s.durErr
+		s.mu.Unlock()
+		return err
+	}
 	s.queue = append(s.queue, m)
 	s.enqueued++
 	full := len(s.queue) >= s.opts.FlushEvery
@@ -183,7 +226,9 @@ func (s *Server) enqueue(del bool, ts []Triple) error {
 }
 
 // Flush blocks until every mutation enqueued before the call has been
-// applied, making it visible to subsequent reads.
+// applied, making it visible to subsequent reads. With durability enabled it
+// returns the sticky WAL error if logging failed (the affected batches were
+// not applied).
 func (s *Server) Flush() error {
 	s.mu.Lock()
 	target := s.enqueued
@@ -196,12 +241,15 @@ func (s *Server) Flush() error {
 	for s.applied < target {
 		s.cond.Wait()
 	}
-	return nil
+	return s.durErr
 }
 
 // Close flushes pending mutations, stops the background writer and marks
 // the server closed. Further mutations return ErrServerClosed; reads keep
-// working against the final state. Close is idempotent.
+// working against the final state. With durability enabled, Close also ends
+// the WAL with a final checkpoint (unless NoFinalCheckpoint), so the next
+// boot loads one snapshot with an empty tail; the caller still owns the DB
+// and must Close it afterwards. Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -213,6 +261,15 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	close(s.done)
 	s.wg.Wait() // the writer drains the queue on its way out
+	s.mu.Lock()
+	durErr := s.durErr
+	s.mu.Unlock()
+	if durErr != nil {
+		return durErr
+	}
+	if s.durable != nil && !s.opts.NoFinalCheckpoint && s.opts.DB.Dirty() {
+		return s.opts.DB.Checkpoint(s.durable.DurableState())
+	}
 	return nil
 }
 
@@ -255,23 +312,53 @@ func (s *Server) apply() {
 	s.mu.Lock()
 	batch := s.queue
 	s.queue = nil
+	// Seed the round's error from the sticky flag: mutations that were
+	// already queued when a previous round's WAL append failed must not be
+	// logged or applied either — the documented guarantee is that nothing
+	// after the failed batch reaches the strategy (their callers see the
+	// error via Flush; applied still advances below so waiters unblock).
+	durErr := s.durErr
 	s.mu.Unlock()
 	if len(batch) == 0 {
 		return
 	}
 	var run []Triple
 	flushRun := func(del bool) {
-		if len(run) == 0 {
+		if len(run) == 0 || durErr != nil {
 			return
 		}
-		// Errors are impossible here: triples were validated on enqueue and
-		// strategy mutation paths only fail on ill-formed input.
+		// Write-ahead: the run is durably logged before the strategy sees
+		// it. If logging fails the run is NOT applied (and neither is
+		// anything after it) — replay-on-recovery and the live state must
+		// describe the same history. Re-applying a logged-but-unapplied run
+		// after a crash is harmless: strategy Insert/Delete absorb
+		// duplicates.
+		if s.opts.DB != nil {
+			if err := s.opts.DB.Append(del, run); err != nil {
+				durErr = err
+				return
+			}
+		}
+		// Strategy errors are impossible here: triples were validated on
+		// enqueue and strategy mutation paths only fail on ill-formed input.
 		if del {
 			s.strat.Delete(run...)
 		} else {
 			s.strat.Insert(run...)
 		}
 		run = run[:0]
+		// Checkpoint scheduling rides every run boundary, not just batch
+		// ends: under sustained load one drained batch can hold thousands of
+		// runs and take seconds to log and apply (especially with per-record
+		// fsync), and the strategy state and WAL position agree exactly here
+		// — the run was logged, then applied. The O(1) state capture plus
+		// the DB's background serialisation keep this loop unstalled; the
+		// DB's in-flight guard makes extra Due checks free.
+		if s.durable != nil && s.opts.DB.CheckpointDue() {
+			if err := s.opts.DB.CheckpointAsync(s.durable.DurableState()); err != nil {
+				durErr = err
+			}
+		}
 	}
 	cur := batch[0].del
 	for _, m := range batch {
@@ -284,6 +371,9 @@ func (s *Server) apply() {
 	flushRun(cur)
 	s.mu.Lock()
 	s.applied += uint64(len(batch))
+	if durErr != nil && s.durErr == nil {
+		s.durErr = durErr
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }

@@ -55,6 +55,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lubm"
 	"repro/internal/ntriples"
+	"repro/internal/persist"
 	"repro/internal/rdf"
 	"repro/internal/rdfio"
 	"repro/internal/reformulate"
@@ -154,6 +155,41 @@ func NewBackwardStrategy(kb *KB) Strategy { return core.NewBackward(kb) }
 // NewStrategy builds a strategy by name: "saturation", "reformulation" or
 // "backward".
 func NewStrategy(name string, kb *KB) (Strategy, error) { return core.NewStrategy(name, kb) }
+
+// Durability. A DB is an open persistence directory: binary snapshots of the
+// serving state plus a write-ahead log of mutation batches. Open one, rebuild
+// the KB and strategy from its recovered state, replay the WAL tail through
+// the strategy, and hand the DB to NewServer via ServerOptions.DB; see
+// internal/persist for the format and crash-recovery contract.
+type (
+	// DB is the handle to a persistence directory (WAL + snapshots).
+	DB = persist.DB
+	// DBOptions tunes fsync policy and checkpoint thresholds.
+	DBOptions = persist.Options
+	// DBState is the state recovered from a snapshot (DB.State).
+	DBState = persist.LoadedState
+	// DurableStrategy is a Strategy whose state the persistence layer can
+	// checkpoint; all three built-in strategies implement it.
+	DurableStrategy = core.DurableStrategy
+)
+
+// WAL fsync policies.
+const (
+	SyncAlways = persist.SyncAlways
+	SyncNever  = persist.SyncNever
+)
+
+// OpenDB opens (creating if needed) a persistence directory and recovers its
+// state: the newest valid snapshot is loaded and the WAL tail above it is
+// made available for replay. A torn final WAL record — the signature of a
+// crash mid-append — is truncated away; other damage refuses to open.
+func OpenDB(dir string, opts DBOptions) (*DB, error) { return persist.Open(dir, opts) }
+
+// RestoreStrategy builds the named strategy (and the KB it runs on) from
+// snapshot-recovered state (DB.State), taking ownership of the contained
+// structures. A saturation snapshot restored as the saturation strategy
+// starts serving without re-running saturation.
+var RestoreStrategy = core.RestoreStrategy
 
 // Prepare compiles q against s for repeated execution. The returned
 // PreparedQuery caches the join plan (and, for reformulation, the rewritten
