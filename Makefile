@@ -18,13 +18,17 @@
 #                         WAL append cost, recovery time vs WAL length,
 #                         durable server write overhead -> BENCH_persist.json
 #                         (BENCHTIME=1x for a CI smoke run)
+#   make bench-group      group commit: durable server writes under
+#                         SyncAlways/SyncGroup/SyncNever at 1/4/16 producers
+#                         plus acked-write (Session.InsertDurable) latency
+#                         -> BENCH_persist.json (BENCHTIME=1x in CI)
 
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 FUZZTIME ?= 30s
 BENCHTIME ?= 1s
 
-.PHONY: test test-race vet fuzz bench bench-query bench-concurrent bench-persist
+.PHONY: test test-race vet fuzz bench bench-query bench-concurrent bench-persist bench-group
 
 test:
 	$(GO) build ./...
@@ -64,3 +68,8 @@ bench-persist:
 	$(GO) test -run '^$$' -bench 'BenchmarkPersist|BenchmarkServerDurableWrites' \
 		-benchtime $(BENCHTIME) -benchmem . | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-persist" -out BENCH_persist.json
+
+bench-group:
+	$(GO) test -run '^$$' -bench 'BenchmarkServerGroupCommit|BenchmarkServerDurableAck' \
+		-benchtime $(BENCHTIME) -benchmem . | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-group" -out BENCH_persist.json

@@ -14,11 +14,17 @@
 // the mutation queue is flushed, a final checkpoint is written and the WAL
 // is closed, so the next start recovers instantly and answers identically.
 //
+// With -session each writer becomes a read-your-writes Session using the
+// acknowledged durable write path (Insert/DeleteDurable — under -sync group
+// every concurrent writer shares one group fsync per burst) and periodically
+// verifies that a session read observes the write it was just acknowledged.
+//
 // Usage:
 //
 //	rdfserve -strategy saturation -readers 4 -writers 1 -duration 5s
 //	rdfserve -readers 16 -query Q5 -flush-every 128 -flush-interval 1ms
 //	rdfserve -data /var/lib/rdfserve -sync always -duration 1h
+//	rdfserve -data /var/lib/rdfserve -sync group -session -writers 16
 //	rdfserve -bench | go run ./cmd/benchjson -out BENCH_concurrent.json
 //
 // With -bench the report is emitted as `go test -bench`-style lines, so it
@@ -53,10 +59,15 @@ func main() {
 	queryName := flag.String("query", "Q5", "workload query the readers execute")
 	benchOut := flag.Bool("bench", false, "emit go-bench-style lines for cmd/benchjson")
 	dataDir := flag.String("data", "", "persistence directory: WAL + snapshots, crash recovery on start")
-	syncMode := flag.String("sync", "always", "WAL fsync policy: always|never")
+	syncMode := flag.String("sync", "always", "WAL fsync policy: always|group|never")
+	groupDelay := flag.Duration("group-delay", 0, "sync=group coalescing window (0 = default, negative = fsync as soon as free)")
+	sessionMode := flag.Bool("session", false, "writers use read-your-writes sessions with acknowledged durable writes")
 	ckptBytes := flag.Int64("checkpoint-bytes", 0, "checkpoint when the WAL passes this size (0 = default, negative disables)")
 	ckptRecords := flag.Int("checkpoint-records", 0, "checkpoint after this many WAL records (0 = default, negative disables)")
 	flag.Parse()
+	if *batch < 1 {
+		fatalf("-batch must be at least 1")
+	}
 
 	var db *webreason.DB
 	var strat webreason.Strategy
@@ -66,13 +77,16 @@ func main() {
 			CheckpointBytes:   *ckptBytes,
 			CheckpointRecords: *ckptRecords,
 		}
+		dbOpts.GroupDelay = *groupDelay
 		switch *syncMode {
 		case "always":
 			dbOpts.Sync = webreason.SyncAlways
+		case "group":
+			dbOpts.Sync = webreason.SyncGroup
 		case "never":
 			dbOpts.Sync = webreason.SyncNever
 		default:
-			fatalf("unknown -sync %q (want always or never)", *syncMode)
+			fatalf("unknown -sync %q (want always, group or never)", *syncMode)
 		}
 		var err error
 		if db, err = webreason.OpenDB(*dataDir, dbOpts); err != nil {
@@ -163,11 +177,16 @@ func main() {
 	ex := func(w, g, i int) webreason.Term {
 		return webreason.NewIRI(fmt.Sprintf("http://load.example.org/%d-%d-%d", w, g, i))
 	}
+	var sessionChecks atomic.Int64
 	for w := 0; w < *writers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			p := webreason.NewIRI("http://load.example.org/p")
+			var sess *webreason.Session
+			if *sessionMode {
+				sess = srv.Session()
+			}
 			for gen := 0; ; gen++ {
 				select {
 				case <-stop:
@@ -178,11 +197,34 @@ func main() {
 				for i := 0; i < *batch; i++ {
 					ts = append(ts, webreason.T(ex(w, gen, i), p, ex(w, gen+1, i)))
 				}
-				if err := srv.Insert(ts...); err != nil {
-					fatalf("writer insert: %v", err)
-				}
-				if err := srv.Delete(ts...); err != nil {
-					fatalf("writer delete: %v", err)
+				if sess != nil {
+					// Acknowledged durable writes: InsertDurable returns once
+					// the record is logged and fsynced under the chosen
+					// policy (one shared group fsync per burst under -sync
+					// group); the periodic session read then proves
+					// read-your-writes on the acknowledged mutation.
+					if err := sess.InsertDurable(ts...); err != nil {
+						fatalf("session writer insert: %v", err)
+					}
+					if gen%16 == 0 {
+						probe := ts[0]
+						q := webreason.MustParseQuery(fmt.Sprintf("ASK { %s %s %s }", probe.S, probe.P, probe.O))
+						ok, err := sess.Ask(q)
+						if err != nil || !ok {
+							fatalf("session read missed its own acknowledged write (ok=%v err=%v)", ok, err)
+						}
+						sessionChecks.Add(1)
+					}
+					if err := sess.DeleteDurable(ts...); err != nil {
+						fatalf("session writer delete: %v", err)
+					}
+				} else {
+					if err := srv.Insert(ts...); err != nil {
+						fatalf("writer insert: %v", err)
+					}
+					if err := srv.Delete(ts...); err != nil {
+						fatalf("writer delete: %v", err)
+					}
 				}
 				mutations.Add(int64(2 * *batch))
 			}
@@ -230,10 +272,14 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("strategy=%s query=%s readers=%d writers=%d duration=%s flushEvery=%d flushInterval=%s durable=%v\n",
-		*strategy, *queryName, *readers, *writers, elapsed.Round(time.Millisecond), *flushEvery, *flushInterval, db != nil)
+	fmt.Printf("strategy=%s query=%s readers=%d writers=%d duration=%s flushEvery=%d flushInterval=%s durable=%v session=%v\n",
+		*strategy, *queryName, *readers, *writers, elapsed.Round(time.Millisecond), *flushEvery, *flushInterval, db != nil, *sessionMode)
 	fmt.Printf("  queries:   %d (%.0f/sec, mean latency %s)\n", nq, float64(nq)/secs, time.Duration(int64(nsPerQuery)))
 	fmt.Printf("  mutations: %d applied triples (%.0f/sec)\n", nm, float64(nm)/secs)
+	if *sessionMode {
+		fmt.Printf("  sessions:  %d writers, acked durable writes, %d read-your-writes probes all observed\n",
+			*writers, sessionChecks.Load())
+	}
 	fmt.Printf("  store:     %d triples (%s)\n", srv.Len(), strat.Name())
 }
 

@@ -91,6 +91,10 @@ func FuzzWALDecode(f *testing.F) {
 	f.Add(valid, uint64(1))
 	f.Add(valid[:len(valid)-3], uint64(1)) // torn tail
 	f.Add([]byte(walMagic), uint64(0))
+	// Boundary of the triple-count sanity bound: a CRC-valid record whose
+	// payload claims len/6+1 triples, one more than the 6-bytes-per-triple
+	// minimum admits (the exact claim the pre-fix bound let through).
+	f.Add(walBoundaryCountImage(), uint64(1))
 	f.Fuzz(func(t *testing.T, data []byte, gen uint64) {
 		recs, validLen, err := decodeWAL(data, gen)
 		if err != nil {

@@ -42,6 +42,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/rdf"
 )
@@ -56,12 +57,29 @@ const (
 	// SyncNever leaves flushing to the OS: an acknowledged batch survives a
 	// process crash but the last moments before power loss may be lost.
 	SyncNever
+	// SyncGroup stages appends and lets a background syncer cover every
+	// record staged since the last fsync with one fsync (group commit):
+	// appends return as soon as the record is written, and durability is
+	// signalled per record through the AppendAck callback once the covering
+	// fsync completes — at most Options.GroupDelay after the record was
+	// staged. Concurrent producers amortise one fsync across a whole burst
+	// instead of paying one each, so sustained throughput approaches
+	// SyncNever while an *acknowledged* record has SyncAlways semantics:
+	// it, and every record before it, survives power loss.
+	SyncGroup
 )
 
 // Options tunes a DB.
 type Options struct {
 	// Sync is the WAL fsync policy.
 	Sync SyncPolicy
+	// GroupDelay bounds, under SyncGroup, how long a staged record may wait
+	// before its covering fsync starts: the syncer coalesces the records of
+	// up to one GroupDelay window into a single fsync. Zero means
+	// DefaultGroupDelay; negative syncs as soon as the syncer is free (the
+	// in-flight fsync itself then provides the batching window). Ignored by
+	// the other policies.
+	GroupDelay time.Duration
 	// CheckpointBytes triggers a checkpoint when the active WAL grows past
 	// this size. Zero means DefaultCheckpointBytes; negative disables the
 	// size trigger.
@@ -82,13 +100,21 @@ const (
 	DefaultCheckpointRecords = 4096
 )
 
+// DefaultGroupDelay is the SyncGroup coalescing window: one fsync per
+// millisecond upper-bounds the durability lag while letting a write burst
+// share a single fsync (~145µs on the reference box) across every record
+// it staged.
+const DefaultGroupDelay = time.Millisecond
+
 // ErrDBClosed is returned by operations on a closed DB.
 var ErrDBClosed = errors.New("persist: DB closed")
 
 // DB is an open data directory: the state recovered from it plus the active
-// WAL. Append, CheckpointDue, Checkpoint and CheckpointAsync must be
-// serialized by the caller (the server's single writer goroutine does this
-// naturally); Close may be called from any goroutine.
+// WAL. Append and AppendAck are goroutine-safe (concurrent producers are the
+// point of group commit; writes are serialized internally). CheckpointDue,
+// Checkpoint and CheckpointAsync must still be serialized by the caller (the
+// server's single writer goroutine does this naturally); Close may be called
+// from any goroutine.
 type DB struct {
 	dir  string
 	opts Options
@@ -106,6 +132,20 @@ type DB struct {
 	buf        []byte // record encode scratch
 	closed     bool
 
+	// Group commit (SyncGroup). staged holds, in append order, the
+	// durability callbacks of records written but not yet covered by an
+	// fsync; the syncer goroutine swaps the whole list out per fsync, so an
+	// ack firing implies every earlier staged record is durable too.
+	// syncMu serialises group fsyncs against WAL rotation and close, which
+	// must not pull the file out from under an in-flight fsync.
+	staged      []func(error) // guarded by mu
+	syncPending bool          // guarded by mu: bytes written since the last covering sync
+	groupErr    error         // guarded by mu: sticky group-fsync failure; refuses further appends
+	syncMu      sync.Mutex
+	syncKick    chan struct{} // capacity 1; nudges the syncer
+	syncDone    chan struct{} // closed to stop the syncer
+	syncWg      sync.WaitGroup
+
 	ckptBusy atomic.Bool
 	bg       sync.WaitGroup
 	bgMu     sync.Mutex
@@ -122,6 +162,17 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	if opts.CheckpointRecords == 0 {
 		opts.CheckpointRecords = DefaultCheckpointRecords
+	}
+	if opts.GroupDelay == 0 {
+		opts.GroupDelay = DefaultGroupDelay
+	}
+	switch opts.Sync {
+	case SyncAlways, SyncNever, SyncGroup:
+	default:
+		// An unknown policy must not fall into AppendAck's SyncGroup branch
+		// with no syncer running: records would stage forever, unfsynced,
+		// with their durability callbacks never firing.
+		return nil, fmt.Errorf("persist: unknown sync policy %d", opts.Sync)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -226,6 +277,12 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.walRecords = activeRecords
 	// Remove files superseded by the loaded snapshot.
 	db.removeBelow(db.loadedGen())
+	if opts.Sync == SyncGroup {
+		db.syncKick = make(chan struct{}, 1)
+		db.syncDone = make(chan struct{})
+		db.syncWg.Add(1)
+		go db.syncer()
+	}
 	opened = true
 	return db, nil
 }
@@ -256,7 +313,10 @@ func (db *DB) openActiveWAL() error {
 			f.Close()
 			return err
 		}
-		if db.opts.Sync == SyncAlways {
+		// Headers are synced eagerly under both durable policies: rotation
+		// is rare, and a group fsync must never be the only thing standing
+		// between a fresh generation's header and power loss.
+		if db.opts.Sync != SyncNever {
 			if err := f.Sync(); err != nil {
 				f.Close()
 				return err
@@ -308,28 +368,176 @@ func (db *DB) ReplayTail(insert, del func(...rdf.Triple) error) (int, error) {
 // applying the batch to the strategy). Replay applies inserts and deletes
 // through the normal strategy paths, which absorb duplicates, so a batch
 // that was logged but not yet applied at the moment of a crash replays
-// harmlessly.
+// harmlessly. Under SyncGroup, Append blocks until the covering group fsync
+// completes (synchronous durability); use AppendAck to overlap appends with
+// the in-flight fsync.
 func (db *DB) Append(del bool, ts []rdf.Triple) error {
+	if db.opts.Sync != SyncGroup {
+		return db.AppendAck(del, ts, nil)
+	}
+	ch := make(chan error, 1)
+	if err := db.AppendAck(del, ts, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// AppendAck logs one mutation batch and reports its durability through ack:
+// ack(nil) fires once the record — and, by WAL ordering, every record
+// appended before it — is durable under the configured policy. Under
+// SyncAlways and SyncNever the policy's work happens inline and ack fires
+// before AppendAck returns; under SyncGroup AppendAck returns once the
+// record is written (staged) and ack fires from the background syncer after
+// the covering group fsync, at most GroupDelay plus one fsync later.
+//
+// A non-nil return means the record was NOT staged (encode bound, write
+// failure, closed DB) and ack will never fire; a group fsync failure is
+// delivered through ack instead and is sticky — every later append is
+// refused with it, because a record covered by the failed fsync may be
+// gone and acknowledging anything after it would break the durable-prefix
+// contract. ack must be cheap and non-blocking: it runs on the appender
+// (inline policies) or the syncer goroutine (SyncGroup).
+func (db *DB) AppendAck(del bool, ts []rdf.Triple, ack func(error)) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrDBClosed
+	}
+	if db.groupErr != nil {
+		// A covering group fsync failed: some already-written record may
+		// never have reached stable storage (and the kernel has dropped the
+		// error state), so acknowledging anything after it would break the
+		// durable-prefix contract. Refuse until the DB is reopened.
+		err := db.groupErr
+		db.mu.Unlock()
+		return err
 	}
 	db.buf = appendWALRecord(db.buf[:0], del, ts)
 	if len(db.buf) > walRecHdrLen+maxWALRecord {
+		db.mu.Unlock()
 		return errRecordTooLarge
 	}
 	if _, err := db.wal.Write(db.buf); err != nil {
+		db.mu.Unlock()
 		return err
-	}
-	if db.opts.Sync == SyncAlways {
-		if err := db.wal.Sync(); err != nil {
-			return err
-		}
 	}
 	db.walSize += int64(len(db.buf))
 	db.walRecords++
+	switch db.opts.Sync {
+	case SyncAlways:
+		err := db.wal.Sync()
+		db.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	case SyncNever:
+		db.mu.Unlock()
+	default: // SyncGroup: stage the ack and let the syncer cover it.
+		if ack != nil {
+			db.staged = append(db.staged, ack)
+		}
+		// The record needs a covering fsync even with no ack to notify —
+		// GroupDelay bounds every record's durability lag, not just the
+		// acknowledged ones.
+		db.syncPending = true
+		db.mu.Unlock()
+		select {
+		case db.syncKick <- struct{}{}:
+		default:
+		}
+		return nil
+	}
+	if ack != nil {
+		ack(nil)
+	}
 	return nil
+}
+
+// syncer is the SyncGroup background goroutine: it wakes when a record is
+// staged, optionally waits out the coalescing window so a burst accumulates,
+// then performs one fsync covering everything staged so far. Close cuts the
+// window short so a large GroupDelay never delays shutdown.
+func (db *DB) syncer() {
+	defer db.syncWg.Done()
+	var window *time.Timer
+	for {
+		select {
+		case <-db.syncDone:
+			db.groupFlush() // cover anything staged after the final kick
+			return
+		case <-db.syncKick:
+		}
+		if db.opts.GroupDelay > 0 {
+			if window == nil {
+				window = time.NewTimer(db.opts.GroupDelay)
+				defer window.Stop()
+			} else {
+				window.Reset(db.opts.GroupDelay)
+			}
+			select {
+			case <-window.C:
+			case <-db.syncDone:
+				window.Stop()
+				db.groupFlush()
+				return
+			}
+		}
+		db.groupFlush()
+	}
+}
+
+// groupFlush fsyncs the active WAL once and completes every ack staged
+// before the fsync began. The fsync runs outside db.mu so appends keep
+// flowing, and under syncMu so rotation/close cannot swap or close the file
+// mid-fsync. Acks staged while the fsync is in flight stay for the next one.
+func (db *DB) groupFlush() {
+	db.syncMu.Lock()
+	defer db.syncMu.Unlock()
+	db.mu.Lock()
+	acks := db.staged
+	db.staged = nil
+	pending := db.syncPending
+	db.syncPending = false
+	gerr := db.groupErr
+	f := db.wal
+	closed := db.closed
+	db.mu.Unlock()
+	if gerr != nil {
+		// A previous covering fsync failed. Records staged in the window
+		// before the sticky error landed must NOT be acknowledged off a
+		// later, spuriously succeeding fsync (the kernel reports an fsync
+		// error once, then clears it): an earlier record may be gone, and
+		// these records sit behind the hole.
+		fireAcks(acks, gerr)
+		return
+	}
+	if !pending && len(acks) == 0 {
+		return
+	}
+	// Rotation and Close flush staged work themselves (under syncMu), so a
+	// closed DB here means the records were already covered by Close's final
+	// wal.Sync; acknowledge without touching the closed file. A sync failure
+	// with no ack to carry it surfaces on the next acknowledged append or
+	// rotation, which will fail the same way.
+	var err error
+	if !closed {
+		err = f.Sync()
+	}
+	if err != nil {
+		// The failure must outlive this flush even when no ack carries it
+		// (nil-ack records): a failed fsync may have dropped dirty pages,
+		// and the kernel clears the file's error state after reporting it
+		// once — a later fsync can "succeed" without those pages. Sticky:
+		// every subsequent append is refused, and Close reports it.
+		db.mu.Lock()
+		if db.groupErr == nil {
+			db.groupErr = err
+		}
+		db.mu.Unlock()
+	}
+	for _, a := range acks {
+		a(err)
+	}
 }
 
 // CheckpointDue reports whether the active WAL has grown past the configured
@@ -390,24 +598,64 @@ func (db *DB) CheckpointAsync(st State) error {
 
 // rotate switches appends to the next generation's WAL and returns that
 // generation. The old WAL is synced and closed; its records are covered by
-// the snapshot the caller is about to write.
+// the snapshot the caller is about to write. Acks staged under SyncGroup are
+// completed here — the rotation sync covers them — so no callback is ever
+// left pointing at a retired generation.
 func (db *DB) rotate() (uint64, error) {
+	db.syncMu.Lock()
+	defer db.syncMu.Unlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return 0, ErrDBClosed
 	}
-	if err := db.wal.Sync(); err != nil {
+	acks := db.staged
+	db.staged = nil
+	db.syncPending = false // the rotation sync covers everything written
+	if err := db.groupErr; err != nil {
+		// The WAL may already have a durability hole behind these records
+		// (see groupFlush); refusing the rotation also keeps the checkpoint
+		// from garbage-collecting the suspect chain.
+		db.mu.Unlock()
+		fireAcks(acks, err)
 		return 0, err
 	}
+	if err := db.wal.Sync(); err != nil {
+		// Same durability hole as a failed group fsync: pre-rotation pages
+		// may be dropped while the kernel clears the error state, so a
+		// later fsync could "succeed" past them. Sticky — no append after
+		// this point may be acknowledged.
+		if db.groupErr == nil {
+			db.groupErr = err
+		}
+		db.mu.Unlock()
+		fireAcks(acks, err)
+		return 0, err
+	}
+	// From here the staged records are durable regardless of how the
+	// rotation itself fares.
 	if err := db.wal.Close(); err != nil {
+		db.mu.Unlock()
+		fireAcks(acks, nil)
 		return 0, err
 	}
 	db.gen++
 	if err := db.openActiveWAL(); err != nil {
+		db.mu.Unlock()
+		fireAcks(acks, nil)
 		return 0, err
 	}
-	return db.gen, nil
+	gen := db.gen
+	db.mu.Unlock()
+	fireAcks(acks, nil)
+	return gen, nil
+}
+
+// fireAcks invokes each durability callback with err, in staging order.
+func fireAcks(acks []func(error), err error) {
+	for _, a := range acks {
+		a(err)
+	}
 }
 
 // writeCheckpoint serialises st as snap-gen and garbage-collects the
@@ -454,22 +702,46 @@ func (db *DB) Generation() uint64 {
 	return db.gen
 }
 
-// Close waits for any in-flight checkpoint, syncs and closes the active WAL,
-// and returns the first background checkpoint error, if any. The DB must
-// not be used afterwards.
+// Close waits for any in-flight checkpoint, completes staged group-commit
+// acks under the final sync, stops the syncer, syncs and closes the active
+// WAL, and returns the first background checkpoint error, if any. The DB
+// must not be used afterwards.
 func (db *DB) Close() error {
 	db.bg.Wait()
+	db.syncMu.Lock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
+		db.syncMu.Unlock()
 		return nil
 	}
 	db.closed = true
-	err := db.wal.Sync()
+	acks := db.staged
+	db.staged = nil
+	db.syncPending = false // the final sync covers everything written
+	gerr := db.groupErr
+	serr := db.wal.Sync()
+	err := serr
 	if cerr := db.wal.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		err = gerr // a sticky group-fsync failure must not vanish on close
+	}
 	unlockDir(db.lock)
+	db.mu.Unlock()
+	db.syncMu.Unlock()
+	// Durable iff the final sync succeeded AND no earlier group fsync
+	// failed — records behind a durability hole must not be acknowledged.
+	ackErr := serr
+	if gerr != nil {
+		ackErr = gerr
+	}
+	fireAcks(acks, ackErr)
+	if db.syncDone != nil {
+		close(db.syncDone)
+		db.syncWg.Wait()
+	}
 	db.bgMu.Lock()
 	if err == nil {
 		err = db.bgErr

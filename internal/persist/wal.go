@@ -111,8 +111,10 @@ func decodeWALPayload(b []byte) (Mutation, error) {
 	}
 	b = b[k:]
 	// ≥ 6 bytes per triple (three one-byte tags + three empty strings), so a
-	// count the buffer cannot hold fails before allocating.
-	if n > uint64(len(b)/6)+1 {
+	// count the buffer cannot hold fails before allocating. The division
+	// keeps the comparison overflow-safe for adversarial counts near 2^64:
+	// n > len(b)/6 ⟺ 6n > len(b) in the integers.
+	if n > uint64(len(b))/6 {
 		return Mutation{}, fmt.Errorf("%w: triple count %d exceeds record", ErrWALCorrupt, n)
 	}
 	m := Mutation{Del: op == opDelete, Triples: make([]rdf.Triple, 0, n)}

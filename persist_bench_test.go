@@ -8,12 +8,18 @@
 //	BenchmarkPersistSnapshotWrite — serialising a full checkpoint
 //	    (dict + G + G∞) to disk.
 //	BenchmarkPersistWALAppend — per-batch write-ahead logging cost, with
-//	    and without fsync.
+//	    and without fsync, and the staged group-commit append (AppendAck:
+//	    write now, one background fsync per burst).
 //	BenchmarkPersistRecovery — persist.Open + WAL-tail replay as a function
 //	    of tail length (the cost a crash adds to the next boot).
 //	BenchmarkServerDurableWrites — the PR 3 server mutation throughput
 //	    bench with durability on vs off: what the WAL hook costs per
 //	    applied triple end to end.
+//	BenchmarkServerGroupCommit — durable server writes under the three
+//	    sync policies at 1/4/16 producers (`make bench-group`): the group
+//	    commit acceptance numbers.
+//	BenchmarkServerDurableAck — Session.InsertDurable (acknowledged write)
+//	    latency, inline fsync vs shared group fsync, 1 vs 16 sessions.
 package webreason_test
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	webreason "repro"
@@ -174,6 +181,25 @@ func BenchmarkPersistWALAppend(b *testing.B) {
 			}
 		})
 	}
+	// The staged group-commit append: AppendAck returns once the record is
+	// written; the background syncer amortises the fsyncs. The wait for the
+	// final acks charges the (few) fsyncs to the run.
+	b.Run("sync=group", func(b *testing.B) {
+		db, err := persist.Open(b.TempDir(), persist.Options{Sync: persist.SyncGroup, CheckpointBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wg.Add(1)
+			if err := db.AppendAck(false, batch, func(error) { wg.Done() }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wg.Wait()
+	})
 }
 
 // BenchmarkPersistRecovery measures persist.Open plus replay through a
@@ -272,6 +298,145 @@ func BenchmarkServerDurableWrites(b *testing.B) {
 		defer db.Close()
 		run(b, db)
 	})
+}
+
+// BenchmarkServerGroupCommit measures durable server write throughput under
+// the three WAL sync policies at 1/4/16 concurrent producers (reproduce with
+// `make bench-group`). The strategy is reformulation — mutations apply in
+// microseconds, so the WAL policy, not reasoning maintenance, dominates the
+// applied cost and the policies separate cleanly: SyncAlways pays one inline
+// fsync per applied run, SyncGroup stages records and lets the background
+// syncer cover a whole burst per fsync, SyncNever never syncs. The
+// acceptance bar for group commit is landing within 2× of SyncNever at 16
+// producers (versus the +18% per-record-fsync penalty SyncAlways shows on
+// the saturation write bench).
+func BenchmarkServerGroupCommit(b *testing.B) {
+	const batch = 16
+	for _, mode := range []struct {
+		name string
+		sync persist.SyncPolicy
+	}{
+		{"always", persist.SyncAlways},
+		{"group", persist.SyncGroup},
+		{"never", persist.SyncNever},
+	} {
+		for _, producers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("sync=%s/producers=%d", mode.name, producers), func(b *testing.B) {
+				kb := core.NewKB()
+				if _, err := kb.LoadGraph(lubm.GenerateWithOntology(persistBenchConfig())); err != nil {
+					b.Fatal(err)
+				}
+				strat, err := core.NewStrategy("reformulation", kb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				db, err := persist.Open(b.TempDir(), persist.Options{
+					Sync: mode.sync, CheckpointBytes: -1, CheckpointRecords: -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				srv := webreason.NewServer(strat, webreason.ServerOptions{DB: db, NoFinalCheckpoint: true})
+				defer srv.Close()
+				p := webreason.NewIRI("http://load.example.org/p")
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < producers; w++ {
+					n := b.N / producers
+					if w == 0 {
+						n += b.N % producers
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							ts := make([]webreason.Triple, 0, batch)
+							for j := 0; j < batch; j++ {
+								ts = append(ts, webreason.T(
+									webreason.NewIRI(fmt.Sprintf("http://load.example.org/%d-%d-%d", w, i, j)), p,
+									webreason.NewIRI(fmt.Sprintf("http://load.example.org/%d-%d-%d'", w, i, j))))
+							}
+							if err := srv.Insert(ts...); err != nil {
+								b.Error(err)
+								return
+							}
+							if err := srv.Delete(ts...); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w, n)
+				}
+				wg.Wait()
+				if err := srv.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkServerDurableAck measures the acknowledged durable write path —
+// Session.InsertDurable round-trip latency — under SyncAlways (inline fsync
+// per record) versus SyncGroup (one shared fsync per burst) at 1 and 16
+// concurrent sessions. Group commit trades single-writer ack latency (the
+// coalescing window) for burst throughput: at 16 sessions every waiter
+// shares one fsync.
+func BenchmarkServerDurableAck(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		sync persist.SyncPolicy
+	}{
+		{"always", persist.SyncAlways},
+		{"group", persist.SyncGroup},
+	} {
+		for _, sessions := range []int{1, 16} {
+			b.Run(fmt.Sprintf("sync=%s/sessions=%d", mode.name, sessions), func(b *testing.B) {
+				kb := core.NewKB()
+				if _, err := kb.LoadGraph(lubm.GenerateWithOntology(persistBenchConfig())); err != nil {
+					b.Fatal(err)
+				}
+				strat, err := core.NewStrategy("reformulation", kb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				db, err := persist.Open(b.TempDir(), persist.Options{
+					Sync: mode.sync, CheckpointBytes: -1, CheckpointRecords: -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				srv := webreason.NewServer(strat, webreason.ServerOptions{DB: db, NoFinalCheckpoint: true})
+				defer srv.Close()
+				p := webreason.NewIRI("http://load.example.org/p")
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < sessions; w++ {
+					n := b.N / sessions
+					if w == 0 {
+						n += b.N % sessions
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						sess := srv.Session()
+						for i := 0; i < n; i++ {
+							tr := webreason.T(
+								webreason.NewIRI(fmt.Sprintf("http://load.example.org/a%d-%d", w, i)), p,
+								webreason.NewIRI(fmt.Sprintf("http://load.example.org/a%d-%d'", w, i)))
+							if err := sess.InsertDurable(tr); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w, n)
+				}
+				wg.Wait()
+			})
+		}
+	}
 }
 
 // copyDir copies the regular files of src into dst (bench fixture cloning).

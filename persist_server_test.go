@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
 
 	webreason "repro"
 	"repro/internal/core"
@@ -125,13 +126,21 @@ func mutationStream(seed int64, n int) []struct {
 // serves it durably from dir, applies the mutation stream, flushes, and
 // returns the server and its KB (caller closes).
 func runDurableServer(t *testing.T, dir string, seed int64, muts int) (*webreason.Server, *core.KB, *webreason.DB) {
+	return runDurableServerSync(t, dir, seed, muts, persist.SyncAlways)
+}
+
+// runDurableServerSync is runDurableServer under a chosen WAL sync policy.
+// Under SyncGroup every eighth mutation goes through a read-your-writes
+// session's durable (acked) path, so the crash tests also cover records that
+// were staged and acknowledged by a group fsync.
+func runDurableServerSync(t *testing.T, dir string, seed int64, muts int, sync persist.SyncPolicy) (*webreason.Server, *core.KB, *webreason.DB) {
 	t.Helper()
 	kb := core.NewKB()
 	if _, err := kb.LoadGraph(lubm.GenerateWithOntology(lubm.SmallConfig())); err != nil {
 		t.Fatal(err)
 	}
 	strat := core.NewSaturation(kb)
-	db, err := persist.Open(dir, persist.Options{CheckpointRecords: 7, CheckpointBytes: -1})
+	db, err := persist.Open(dir, persist.Options{CheckpointRecords: 7, CheckpointBytes: -1, Sync: sync, GroupDelay: 100 * time.Microsecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,15 +148,22 @@ func runDurableServer(t *testing.T, dir string, seed int64, muts int) (*webreaso
 		t.Fatal(err)
 	}
 	srv := webreason.NewServer(strat, webreason.ServerOptions{FlushEvery: 4, DB: db})
-	for _, m := range mutationStream(seed, muts) {
-		if m.del {
-			if err := srv.Delete(m.ts...); err != nil {
-				t.Fatal(err)
-			}
-		} else {
-			if err := srv.Insert(m.ts...); err != nil {
-				t.Fatal(err)
-			}
+	sess := srv.Session()
+	for i, m := range mutationStream(seed, muts) {
+		durable := sync == persist.SyncGroup && i%8 == 0
+		var err error
+		switch {
+		case durable && m.del:
+			err = sess.DeleteDurable(m.ts...)
+		case durable:
+			err = sess.InsertDurable(m.ts...)
+		case m.del:
+			err = srv.Delete(m.ts...)
+		default:
+			err = srv.Insert(m.ts...)
+		}
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 	if err := srv.Flush(); err != nil {
@@ -182,34 +198,50 @@ func restoreFrom(t *testing.T, dir, strategy string) (webreason.Strategy, *core.
 // killed-and-restarted durable server answers every LUBM workload query
 // identically to the uninterrupted instance — including mid-checkpoint kill
 // points, which the on-disk copy captures whenever the background
-// checkpointer happens to be between rotation and snapshot rename.
+// checkpointer happens to be between rotation and snapshot rename. It runs
+// under all three sync policies; the kill point for SyncGroup routinely
+// lands between stage and group fsync (the copy races the background
+// syncer), and the acked session mutations in the stream pin that an
+// acknowledged run is never lost.
 func TestServerCrashRecoveryAnswersIdentically(t *testing.T) {
-	dir := t.TempDir()
-	srv, kb, db := runDurableServer(t, dir, 42, 160)
+	for _, pol := range []struct {
+		name string
+		sync persist.SyncPolicy
+	}{
+		{"always", persist.SyncAlways},
+		{"group", persist.SyncGroup},
+		{"never", persist.SyncNever},
+	} {
+		t.Run(pol.name, func(t *testing.T) {
+			dir := t.TempDir()
+			srv, kb, db := runDurableServerSync(t, dir, 42, 160, pol.sync)
 
-	// "kill -9": capture the on-disk state with nothing flushed or closed.
-	killed := copyDataDir(t, dir)
+			// "kill -9": capture the on-disk state with nothing flushed or
+			// closed.
+			killed := copyDataDir(t, dir)
 
-	queries := lubm.Queries()
-	want := make(map[string][]string, len(queries))
-	for _, wq := range queries {
-		want[wq.Name] = answersOf(t, srv.Strategy(), kb.Dict(), wq.Parse())
-	}
-	srv.Close()
-	db.Close()
-
-	strat, kb2, db2 := restoreFrom(t, killed, "saturation")
-	defer db2.Close()
-	for _, wq := range queries {
-		got := answersOf(t, strat, kb2.Dict(), wq.Parse())
-		if len(got) != len(want[wq.Name]) {
-			t.Fatalf("%s: %d answers after recovery, want %d", wq.Name, len(got), len(want[wq.Name]))
-		}
-		for i := range got {
-			if got[i] != want[wq.Name][i] {
-				t.Fatalf("%s: answer %d = %q, want %q", wq.Name, i, got[i], want[wq.Name][i])
+			queries := lubm.Queries()
+			want := make(map[string][]string, len(queries))
+			for _, wq := range queries {
+				want[wq.Name] = answersOf(t, srv.Strategy(), kb.Dict(), wq.Parse())
 			}
-		}
+			srv.Close()
+			db.Close()
+
+			strat, kb2, db2 := restoreFrom(t, killed, "saturation")
+			defer db2.Close()
+			for _, wq := range queries {
+				got := answersOf(t, strat, kb2.Dict(), wq.Parse())
+				if len(got) != len(want[wq.Name]) {
+					t.Fatalf("%s: %d answers after recovery, want %d", wq.Name, len(got), len(want[wq.Name]))
+				}
+				for i := range got {
+					if got[i] != want[wq.Name][i] {
+						t.Fatalf("%s: answer %d = %q, want %q", wq.Name, i, got[i], want[wq.Name][i])
+					}
+				}
+			}
+		})
 	}
 }
 

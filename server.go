@@ -3,6 +3,7 @@ package webreason
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -38,9 +39,14 @@ type ServerOptions struct {
 	// strategy must implement core.DurableStrategy for checkpointing (all
 	// built-in strategies do; a bare WAL still works without it).
 	//
-	// A WAL append failure is sticky: the failed batch and everything after
-	// it are not applied, and Insert/Delete/Flush return the error — the
-	// server refuses to diverge from its durable history.
+	// A WAL append failure is sticky: the batch that failed to log
+	// synchronously and everything after it are not applied, and
+	// Insert/Delete/Flush return the error — the server refuses to diverge
+	// from its durable history. (Under persist.SyncGroup the fsync is
+	// asynchronous: a run whose covering group fsync later fails has
+	// already been applied and stays visible, but its durability acks carry
+	// the error and every subsequent mutation is refused; see the type
+	// doc's durability section.)
 	DB *persist.DB
 	// NoFinalCheckpoint skips the checkpoint Close normally writes when the
 	// WAL is non-empty (used by crash-simulation tests; production servers
@@ -81,14 +87,28 @@ var ErrServerClosed = errors.New("webreason: server closed")
 //   - monotonic progress: successive reads observe the same or a later
 //     prefix, never an earlier one (the snapshot pointer only moves
 //     forward);
-//   - bounded staleness, not read-your-writes: Insert/Delete enqueue and
-//     return, so a read issued immediately afterwards may still see the
-//     pre-update snapshot. Call Flush to make every previously enqueued
-//     mutation visible to subsequent reads.
+//   - bounded staleness by default: Insert/Delete enqueue and return, so a
+//     read issued immediately afterwards may still see the pre-update
+//     snapshot. Call Flush to make every previously enqueued mutation
+//     visible to subsequent reads — or use a Session, whose reads always
+//     observe that session's own writes (read-your-writes) without slowing
+//     anonymous readers down.
 //
 // What readers can never observe: effects of a mutation call interleaved
 // below batch granularity (a batch is applied atomically with respect to
 // reads), or state that mixes two batches partially.
+//
+// # Sessions: read-your-writes
+//
+// Session (from Server.Session) scopes the stronger consistency level to
+// the clients that want it: each session tracks the enqueue watermark of
+// its own mutations, and its reads briefly wait — nudging the writer, so
+// the wait is a queue drain, not a flush-interval sleep — until the applied
+// prefix covers that watermark before evaluating against the then-current
+// snapshot. A session read therefore observes every earlier write of the
+// same session (plus whatever else has been applied), while reads on the
+// Server itself keep the default bounded-staleness behaviour and never
+// block on the queue.
 //
 // Mutations are validated synchronously — an ill-formed triple is rejected
 // on the Insert/Delete call itself — and applied asynchronously in enqueue
@@ -107,6 +127,26 @@ var ErrServerClosed = errors.New("webreason: server closed")
 // batches: recovery replays the WAL tail and reaches precisely the state a
 // reader of the crashed server could last have observed, plus any batches
 // that were logged but whose application the crash cut short.
+//
+// What a crash can take with it depends on the DB's sync policy:
+//
+//   - persist.SyncAlways — every logged run is fsynced before it is applied;
+//     a power loss loses at most the run being logged at that instant.
+//   - persist.SyncGroup — runs are logged immediately and fsynced in the
+//     background, one fsync covering every run staged since the last
+//     (group commit); power loss loses at most the staged suffix of runs
+//     (bounded by the DB's GroupDelay), never a prefix-internal run. An
+//     InsertDurable/DeleteDurable call (or the ack to a Session's durable
+//     write) returns only after the covering fsync, so acknowledged writes
+//     carry SyncAlways semantics at near-SyncNever applier throughput.
+//   - persist.SyncNever — logging is page-cache only; a process crash loses
+//     nothing (the OS still holds the pages), power loss may lose the last
+//     moments of history.
+//
+// InsertDurable/DeleteDurable block until their mutation's WAL record is
+// durable under the configured policy; without a DB they degrade to "applied
+// to the in-memory state". Plain Insert/Delete never wait on an fsync under
+// any policy.
 type Server struct {
 	strat core.Strategy
 	opts  ServerOptions
@@ -118,9 +158,12 @@ type Server struct {
 	cond     *sync.Cond // signalled when applied advances
 	queue    []mutation
 	enqueued uint64 // total mutation calls accepted
-	applied  uint64 // total mutation calls applied by the writer
-	durErr   error  // sticky WAL append failure; fails further mutations
-	closed   bool
+	// applied counts mutation calls applied by the writer. It only advances
+	// under mu (followed by a cond broadcast), but is atomic so the session
+	// fast path can check its watermark without touching the server mutex.
+	applied atomic.Uint64
+	durErr  error // sticky WAL append failure; fails further mutations
+	closed  bool
 
 	kick chan struct{} // nudges the writer loop (capacity 1)
 	done chan struct{} // closed to stop the writer loop
@@ -130,10 +173,14 @@ type Server struct {
 	wg         sync.WaitGroup
 }
 
-// mutation is one queued Insert or Delete call.
+// mutation is one queued Insert or Delete call. ack, when set, fires once
+// the call's WAL record is durable under the DB's sync policy (or, without
+// a DB, once the call is applied); a sticky durability error is delivered
+// through it instead.
 type mutation struct {
 	del bool
 	ts  []Triple
+	ack func(error)
 }
 
 // NewServer wraps the strategy. The strategy must not be mutated behind the
@@ -182,18 +229,49 @@ func (s *Server) Ask(q *Query) (bool, error) { return s.strat.Ask(q) }
 
 // Insert validates the triples and enqueues their assertion, returning
 // before the batch is applied (see the staleness note in the type doc).
-func (s *Server) Insert(ts ...Triple) error { return s.enqueue(false, ts) }
+func (s *Server) Insert(ts ...Triple) error {
+	_, err := s.enqueue(false, ts, nil)
+	return err
+}
 
 // Delete validates the triples and enqueues their retraction.
-func (s *Server) Delete(ts ...Triple) error { return s.enqueue(true, ts) }
+func (s *Server) Delete(ts ...Triple) error {
+	_, err := s.enqueue(true, ts, nil)
+	return err
+}
 
-func (s *Server) enqueue(del bool, ts []Triple) error {
+// InsertDurable enqueues the assertion and blocks until its WAL record is
+// durable under the DB's sync policy — under persist.SyncGroup that is the
+// covering group fsync, so concurrent durable writers share one fsync per
+// burst instead of paying one each. Without a DB it blocks until the
+// mutation is applied. A nil return means the write is logged and fsynced:
+// it survives power loss (SyncAlways/SyncGroup) or process crash
+// (SyncNever).
+func (s *Server) InsertDurable(ts ...Triple) error { return s.durably(false, ts) }
+
+// DeleteDurable is InsertDurable for retractions.
+func (s *Server) DeleteDurable(ts ...Triple) error { return s.durably(true, ts) }
+
+func (s *Server) durably(del bool, ts []Triple) error {
+	ch := make(chan error, 1)
+	if _, err := s.enqueue(del, ts, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	// The caller is explicitly waiting: kick the writer so the ack is a
+	// queue drain away, not a FlushInterval sleep away.
+	s.nudge()
+	return <-ch
+}
+
+// enqueue validates and queues one mutation call, returning its position in
+// the accepted sequence (1-based; the watermark Sessions pin reads to).
+func (s *Server) enqueue(del bool, ts []Triple, ack func(error)) (uint64, error) {
 	for _, t := range ts {
 		if err := t.WellFormed(); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	m := mutation{del: del, ts: append([]Triple(nil), ts...)}
+	m := mutation{del: del, ts: append([]Triple(nil), ts...), ack: ack}
 	s.mu.Lock()
 	for s.opts.MaxPending > 0 && len(s.queue) >= s.opts.MaxPending && !s.closed {
 		// Backpressure: wake the writer and wait for it to drain. nudge is a
@@ -203,15 +281,16 @@ func (s *Server) enqueue(del bool, ts []Triple) error {
 	}
 	if s.closed {
 		s.mu.Unlock()
-		return ErrServerClosed
+		return 0, ErrServerClosed
 	}
 	if s.durErr != nil {
 		err := s.durErr
 		s.mu.Unlock()
-		return err
+		return 0, err
 	}
 	s.queue = append(s.queue, m)
 	s.enqueued++
+	seq := s.enqueued
 	full := len(s.queue) >= s.opts.FlushEvery
 	first := len(s.queue) == 1
 	s.mu.Unlock()
@@ -222,7 +301,31 @@ func (s *Server) enqueue(del bool, ts []Triple) error {
 		// server's writer then blocks on kick/done with no periodic wakeups.
 		s.flushTimer.Reset(s.opts.FlushInterval)
 	}
-	return nil
+	return seq, nil
+}
+
+// waitApplied blocks until the applier has applied the first seq accepted
+// mutation calls. The common case — the watermark is already applied — is a
+// single atomic load (observing applied >= seq happens-after the covering
+// snapshot swap, which the writer performs before advancing the counter),
+// so session reads do not contend on the server mutex. On the slow path the
+// writer is kicked first, so the wait is bounded by the current queue's
+// application, not by the flush timer.
+func (s *Server) waitApplied(seq uint64) {
+	if s.applied.Load() >= seq {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.applied.Load() >= seq {
+		return
+	}
+	s.nudge()
+	// The writer drains the queue on kicks and on its way out, so applied
+	// reaches seq even when Close races this wait.
+	for s.applied.Load() < seq {
+		s.cond.Wait()
+	}
 }
 
 // Flush blocks until every mutation enqueued before the call has been
@@ -238,7 +341,7 @@ func (s *Server) Flush() error {
 	defer s.mu.Unlock()
 	// The writer always drains the queue (on kicks, ticks and on its way
 	// out), so applied reaches target even when Close races this call.
-	for s.applied < target {
+	for s.applied.Load() < target {
 		s.cond.Wait()
 	}
 	return s.durErr
@@ -279,6 +382,114 @@ func (s *Server) nudge() {
 	case s.kick <- struct{}{}:
 	default:
 	}
+}
+
+// fireAcks delivers one durability outcome to every covered mutation call.
+func fireAcks(acks []func(error), err error) {
+	for _, a := range acks {
+		a(err)
+	}
+}
+
+// asyncDurErr records a durability failure delivered asynchronously (a
+// failed group fsync) as the sticky error, so mutations after the failed
+// record are refused instead of diverging from the durable history.
+func (s *Server) asyncDurErr(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.durErr == nil {
+		s.durErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Session scopes read-your-writes consistency to one client: its reads
+// always observe its own earlier writes, while Server-level reads keep the
+// default bounded-staleness behaviour. A Session is cheap (two words) and
+// safe for concurrent use, though its consistency guarantee is per call:
+// a read observes every write whose Session method returned before the
+// read started.
+//
+// Writes through a session are the server's — same queue, same batching,
+// same durability — plus watermark tracking: each call records its enqueue
+// position, and reads wait (nudging the writer, so typically microseconds)
+// until the applied prefix covers the session's watermark before evaluating
+// against the then-current snapshot. InsertDurable/DeleteDurable block
+// until the write is durable under the DB's sync policy, which under
+// persist.SyncGroup means sharing one group fsync with every concurrent
+// durable writer.
+type Session struct {
+	s    *Server
+	mark atomic.Uint64 // highest enqueue seq of this session's mutations
+}
+
+// Session returns a new read-your-writes session on the server.
+func (s *Server) Session() *Session { return &Session{s: s} }
+
+// note advances the session watermark to seq (monotonic).
+func (ss *Session) note(seq uint64) {
+	for {
+		cur := ss.mark.Load()
+		if seq <= cur || ss.mark.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Insert enqueues the assertion like Server.Insert and advances the session
+// watermark, making the write visible to this session's subsequent reads.
+func (ss *Session) Insert(ts ...Triple) error {
+	seq, err := ss.s.enqueue(false, ts, nil)
+	if err == nil {
+		ss.note(seq)
+	}
+	return err
+}
+
+// Delete enqueues the retraction and advances the session watermark.
+func (ss *Session) Delete(ts ...Triple) error {
+	seq, err := ss.s.enqueue(true, ts, nil)
+	if err == nil {
+		ss.note(seq)
+	}
+	return err
+}
+
+// InsertDurable is Server.InsertDurable with session watermark tracking: it
+// returns once the write is durably logged (and the session's later reads
+// will observe it).
+func (ss *Session) InsertDurable(ts ...Triple) error { return ss.durably(false, ts) }
+
+// DeleteDurable is InsertDurable for retractions.
+func (ss *Session) DeleteDurable(ts ...Triple) error { return ss.durably(true, ts) }
+
+func (ss *Session) durably(del bool, ts []Triple) error {
+	ch := make(chan error, 1)
+	seq, err := ss.s.enqueue(del, ts, func(err error) { ch <- err })
+	if err != nil {
+		return err
+	}
+	// The watermark advances before the durability wait: even if the ack
+	// reports a failure the mutation was accepted into the applied sequence
+	// (applied always advances past it), so reads stay well-defined.
+	ss.note(seq)
+	ss.s.nudge()
+	return <-ch
+}
+
+// Query answers q against a snapshot whose applied prefix covers every
+// earlier write of this session (read-your-writes); see the Session doc.
+func (ss *Session) Query(q *Query) (*engine.Result, error) {
+	ss.s.waitApplied(ss.mark.Load())
+	return ss.s.strat.Answer(q)
+}
+
+// Ask reports whether q has any answer, observing the session's own writes.
+func (ss *Session) Ask(q *Query) (bool, error) {
+	ss.s.waitApplied(ss.mark.Load())
+	return ss.s.strat.Ask(q)
 }
 
 // writer is the single mutation applier: it owns all strategy mutation
@@ -323,8 +534,27 @@ func (s *Server) apply() {
 		return
 	}
 	var run []Triple
+	var runAcks []func(error)
 	flushRun := func(del bool) {
-		if len(run) == 0 || durErr != nil {
+		acks := runAcks
+		runAcks = nil // acks escape into the durability callback; fresh slice per run
+		if len(run) == 0 {
+			// A run of zero-triple mutation calls: nothing to log or apply,
+			// so durability holds vacuously — but the acks must still fire,
+			// or an empty InsertDurable would wait forever.
+			fireAcks(acks, nil)
+			return
+		}
+		if durErr == nil {
+			// Pick up an asynchronous group-fsync failure recorded since the
+			// previous run: nothing may be logged or applied after it.
+			s.mu.Lock()
+			durErr = s.durErr
+			s.mu.Unlock()
+		}
+		if durErr != nil {
+			fireAcks(acks, durErr)
+			run = run[:0]
 			return
 		}
 		// Write-ahead: the run is durably logged before the strategy sees
@@ -334,8 +564,23 @@ func (s *Server) apply() {
 		// after a crash is harmless: strategy Insert/Delete absorb
 		// duplicates.
 		if s.opts.DB != nil {
-			if err := s.opts.DB.Append(del, run); err != nil {
+			// The durability callback fans the record's completion out to
+			// every covered mutation call and records an asynchronous
+			// failure as the sticky error. Under SyncAlways/SyncNever it
+			// runs inline here; under SyncGroup it runs on the DB's syncer
+			// after the covering fsync, while this loop is already logging
+			// and applying later runs.
+			ack := s.asyncDurErr
+			if len(acks) > 0 {
+				ack = func(err error) {
+					s.asyncDurErr(err)
+					fireAcks(acks, err)
+				}
+			}
+			if err := s.opts.DB.AppendAck(del, run, ack); err != nil {
 				durErr = err
+				fireAcks(acks, err)
+				run = run[:0]
 				return
 			}
 		}
@@ -345,6 +590,10 @@ func (s *Server) apply() {
 			s.strat.Delete(run...)
 		} else {
 			s.strat.Insert(run...)
+		}
+		if s.opts.DB == nil {
+			// No durability layer: "durable" degrades to "applied".
+			fireAcks(acks, nil)
 		}
 		run = run[:0]
 		// Checkpoint scheduling rides every run boundary, not just batch
@@ -367,10 +616,13 @@ func (s *Server) apply() {
 			cur = m.del
 		}
 		run = append(run, m.ts...)
+		if m.ack != nil {
+			runAcks = append(runAcks, m.ack)
+		}
 	}
 	flushRun(cur)
 	s.mu.Lock()
-	s.applied += uint64(len(batch))
+	s.applied.Add(uint64(len(batch)))
 	if durErr != nil && s.durErr == nil {
 		s.durErr = durErr
 	}
@@ -425,8 +677,14 @@ func (p *ServerPrepared) Answer() (*engine.Result, error) {
 		return nil, err
 	}
 	res, err := pq.Answer()
+	if err != nil {
+		// Drop the errored instance instead of pooling it: its cached plan
+		// state may be mid-revalidation, and recycling it would hand the
+		// breakage to the next caller. get builds a fresh one on demand.
+		return nil, err
+	}
 	p.pool.Put(pq)
-	return res, err
+	return res, nil
 }
 
 // Ask reports whether the prepared query has any answer.
@@ -436,6 +694,9 @@ func (p *ServerPrepared) Ask() (bool, error) {
 		return false, err
 	}
 	ok, err := pq.Ask()
+	if err != nil {
+		return false, err // drop the errored instance (see Answer)
+	}
 	p.pool.Put(pq)
-	return ok, err
+	return ok, nil
 }

@@ -1,0 +1,180 @@
+package webreason_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	webreason "repro"
+	"repro/internal/persist"
+)
+
+// askFor builds an ASK query for one concrete triple.
+func askFor(tr webreason.Triple) *webreason.Query {
+	return webreason.MustParseQuery(fmt.Sprintf("ASK { %s %s %s }", tr.S, tr.P, tr.O))
+}
+
+// TestSessionReadYourWrites is the deterministic read-your-writes proof: a
+// session read issued after a write call returned always observes that
+// write, for every strategy, with no Flush in sight — while a plain Server
+// read issued concurrently may lawfully still see the old snapshot.
+func TestSessionReadYourWrites(t *testing.T) {
+	ex := func(n string) webreason.Term { return webreason.NewIRI("http://ex.org/" + n) }
+	for _, name := range serverStrategies {
+		t.Run(name, func(t *testing.T) {
+			// A long flush interval and big batches: if session reads relied
+			// on the timer instead of nudging the writer, every Ask below
+			// would stall for a second and the test would time out visibly.
+			srv := newServerFor(t, name, webreason.ServerOptions{FlushEvery: 1 << 20, FlushInterval: time.Second})
+			defer srv.Close()
+			sess := srv.Session()
+			for i := 0; i < 32; i++ {
+				tr := webreason.T(ex(fmt.Sprintf("ryw-%d", i)), ex("p"), ex(fmt.Sprintf("o-%d", i)))
+				if err := sess.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+				if ok, err := sess.Ask(askFor(tr)); err != nil || !ok {
+					t.Fatalf("write %d invisible to its own session: ok=%v err=%v", i, ok, err)
+				}
+				if i%2 == 0 {
+					if err := sess.Delete(tr); err != nil {
+						t.Fatal(err)
+					}
+					if ok, err := sess.Ask(askFor(tr)); err != nil || ok {
+						t.Fatalf("delete %d invisible to its own session: ok=%v err=%v", i, ok, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDurableEmptyMutation pins that a durable write of zero triples
+// completes instead of waiting forever on an ack its (empty, never-logged)
+// run would otherwise drop — with a DB, without one, and through a session,
+// including as the trailing call of a mixed batch.
+func TestDurableEmptyMutation(t *testing.T) {
+	run := func(t *testing.T, srv *webreason.Server) {
+		done := make(chan error, 4)
+		go func() { done <- srv.InsertDurable() }()
+		go func() { done <- srv.DeleteDurable() }()
+		sess := srv.Session()
+		go func() { done <- sess.InsertDurable() }()
+		go func() {
+			// Mixed batch: a real write then an empty durable trailer.
+			ex := webreason.NewIRI("http://ex.org/empty-probe")
+			if err := srv.Insert(webreason.T(ex, ex, ex)); err != nil {
+				done <- err
+				return
+			}
+			done <- sess.DeleteDurable()
+		}()
+		for i := 0; i < 4; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("empty durable mutation never acknowledged")
+			}
+		}
+	}
+	t.Run("memory", func(t *testing.T) {
+		srv := newServerFor(t, "saturation", webreason.ServerOptions{})
+		defer srv.Close()
+		run(t, srv)
+	})
+	t.Run("durable-group", func(t *testing.T) {
+		db, err := persist.Open(t.TempDir(), persist.Options{Sync: persist.SyncGroup, CheckpointBytes: -1, CheckpointRecords: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		strat, err := webreason.NewStrategy("saturation", serverKB(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := webreason.NewServer(strat, webreason.ServerOptions{DB: db})
+		defer srv.Close()
+		run(t, srv)
+	})
+}
+
+// TestSessionReadYourWritesStress is the race-detector stress test of the
+// session contract: concurrent sessions interleave plain and durable writes
+// with reads on a shared durable group-commit server, and every session read
+// must observe that session's own acknowledged writes — regardless of what
+// the other sessions, the background applier, and the group syncer are doing
+// to the shared state at that moment.
+func TestSessionReadYourWritesStress(t *testing.T) {
+	ex := func(n string) webreason.Term { return webreason.NewIRI("http://ex.org/" + n) }
+	run := func(t *testing.T, srv *webreason.Server, durable bool) {
+		const sessions, iters = 6, 24
+		var wg sync.WaitGroup
+		for g := 0; g < sessions; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				sess := srv.Session()
+				for i := 0; i < iters; i++ {
+					tr := webreason.T(
+						ex(fmt.Sprintf("s-%d-%d", g, i)), ex("p"), ex(fmt.Sprintf("o-%d-%d", g, i)))
+					var err error
+					if durable && i%3 == 0 {
+						err = sess.InsertDurable(tr)
+					} else {
+						err = sess.Insert(tr)
+					}
+					if err != nil {
+						t.Errorf("session %d insert %d: %v", g, i, err)
+						return
+					}
+					if ok, err := sess.Ask(askFor(tr)); err != nil || !ok {
+						t.Errorf("session %d: write %d invisible to its own read: ok=%v err=%v", g, i, ok, err)
+						return
+					}
+					if i%4 == 0 {
+						if durable && i%3 == 0 {
+							err = sess.DeleteDurable(tr)
+						} else {
+							err = sess.Delete(tr)
+						}
+						if err != nil {
+							t.Errorf("session %d delete %d: %v", g, i, err)
+							return
+						}
+						if ok, err := sess.Ask(askFor(tr)); err != nil || ok {
+							t.Errorf("session %d: delete %d invisible to its own read: ok=%v err=%v", g, i, ok, err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	t.Run("memory", func(t *testing.T) {
+		srv := newServerFor(t, "saturation", webreason.ServerOptions{FlushEvery: 16, FlushInterval: 50 * time.Millisecond})
+		defer srv.Close()
+		run(t, srv, false)
+	})
+	t.Run("durable-group", func(t *testing.T) {
+		db, err := persist.Open(t.TempDir(), persist.Options{
+			Sync: persist.SyncGroup, GroupDelay: 200 * time.Microsecond, CheckpointRecords: 16, CheckpointBytes: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		strat, err := webreason.NewStrategy("saturation", serverKB(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := webreason.NewServer(strat, webreason.ServerOptions{FlushEvery: 16, FlushInterval: 50 * time.Millisecond, DB: db})
+		defer srv.Close()
+		run(t, srv, true)
+	})
+}

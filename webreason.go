@@ -47,6 +47,14 @@
 //	defer srv.Close()
 //	err := srv.Insert(triples...) // validates, then applies asynchronously
 //	res, err := srv.Query(q)      // always a consistent closure
+//
+// Server reads are bounded-staleness by default; a Session upgrades one
+// client to read-your-writes, and InsertDurable/DeleteDurable block until
+// the write is fsynced (group-committed under SyncGroup):
+//
+//	sess := srv.Session()
+//	err := sess.InsertDurable(triples...) // logged + fsynced on return
+//	res, err := sess.Query(q)             // observes the session's writes
 package webreason
 
 import (
@@ -173,9 +181,15 @@ type (
 	DurableStrategy = core.DurableStrategy
 )
 
-// WAL fsync policies.
+// WAL fsync policies. SyncAlways fsyncs per record; SyncGroup stages
+// records and amortises one background fsync across every concurrent
+// producer's records (group commit — near-SyncNever throughput, with
+// acknowledged writes carrying SyncAlways crash semantics); SyncNever
+// leaves flushing to the OS. See the Server durability doc for the exact
+// guarantees and Server.InsertDurable / Session for acknowledged writes.
 const (
 	SyncAlways = persist.SyncAlways
+	SyncGroup  = persist.SyncGroup
 	SyncNever  = persist.SyncNever
 )
 
