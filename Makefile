@@ -5,6 +5,12 @@
 #   make vet              static checks
 #   make fuzz             run each fuzz target briefly (parsers + the
 #                         persistence snapshot/WAL decoders; panic hunt)
+#   make test-chaos       seeded fault-injection sweep under the race
+#                         detector: CHAOS_SEEDS (default 200) full server
+#                         rounds over a scripted faulty filesystem, each
+#                         crash-copied or closed and then recovered
+#                         (reproduce one round with
+#                         go test -run TestChaos -chaos.seed=N .)
 #   make bench            run every benchmark family with -benchmem and
 #                         append a labelled JSON record per family (JSON
 #                         Lines: one run object per line, with go version +
@@ -27,8 +33,9 @@ GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 FUZZTIME ?= 30s
 BENCHTIME ?= 1s
+CHAOS_SEEDS ?= 200
 
-.PHONY: test test-race vet fuzz bench bench-query bench-concurrent bench-persist bench-group
+.PHONY: test test-race test-chaos vet fuzz bench bench-query bench-concurrent bench-persist bench-group
 
 test:
 	$(GO) build ./...
@@ -36,6 +43,9 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+test-chaos:
+	$(GO) test -race -run TestChaos -chaos.seeds=$(CHAOS_SEEDS) .
 
 vet:
 	$(GO) vet ./...

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -92,11 +93,7 @@ func main() {
 	}
 	buildTime := time.Since(buildStart)
 
-	db, err := webreason.OpenDB(*dataDir, webreason.DBOptions{})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rdfload: opening %s: %v\n", *dataDir, err)
-		os.Exit(1)
-	}
+	db := openDataDir(*dataDir)
 	snapStart := time.Now()
 	if err := db.Checkpoint(durable.DurableState()); err != nil {
 		fmt.Fprintf(os.Stderr, "rdfload: checkpoint: %v\n", err)
@@ -113,11 +110,7 @@ func main() {
 	// Measure what the snapshot saves: reload it and compare with the
 	// parse(+build) path it replaces.
 	loadStart := time.Now()
-	db2, err := webreason.OpenDB(*dataDir, webreason.DBOptions{})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rdfload: reopening %s: %v\n", *dataDir, err)
-		os.Exit(1)
-	}
+	db2 := openDataDir(*dataDir)
 	st := db2.State()
 	if st == nil {
 		fmt.Fprintln(os.Stderr, "rdfload: reopened directory has no snapshot")
@@ -137,4 +130,20 @@ func main() {
 	fmt.Printf("restart cost: snapshot load %s vs parse+build %s — %.1fx faster\n",
 		loadTime.Round(time.Microsecond), build.Round(time.Millisecond),
 		float64(build)/float64(loadTime))
+}
+
+// openDataDir opens the persistence directory, exiting with a friendly
+// message — not a raw flock errno — when another process holds its LOCK.
+func openDataDir(dir string) *webreason.DB {
+	db, err := webreason.OpenDB(dir, webreason.DBOptions{})
+	if err == nil {
+		return db
+	}
+	if errors.Is(err, webreason.ErrDBLocked) {
+		fmt.Fprintf(os.Stderr, "rdfload: data directory %s is locked: another rdfload or rdfserve is running against it; stop that process or pass a different -data directory\n", dir)
+	} else {
+		fmt.Fprintf(os.Stderr, "rdfload: opening %s: %v\n", dir, err)
+	}
+	os.Exit(1)
+	return nil
 }

@@ -32,6 +32,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -90,6 +91,9 @@ func main() {
 		}
 		var err error
 		if db, err = webreason.OpenDB(*dataDir, dbOpts); err != nil {
+			if errors.Is(err, webreason.ErrDBLocked) {
+				fatalf("data directory %s is locked: another rdfserve or rdfload is running against it; stop that process or pass a different -data directory", *dataDir)
+			}
 			fatalf("opening %s: %v", *dataDir, err)
 		}
 		if st := db.State(); st != nil {
@@ -251,6 +255,14 @@ func main() {
 		fatalf("shutdown: %v", err)
 	}
 	if db != nil {
+		// Surface durability trouble the run survived: failed checkpoint
+		// attempts and superseded-generation files whose removal failed
+		// (those are re-attempted by every later GC pass, so a warning here
+		// means some are still on disk).
+		if st := db.Stats(); st.CheckpointFailures > 0 || st.GCRemoveFailures > 0 {
+			fmt.Fprintf(os.Stderr, "rdfserve: durability warnings: %d checkpoint failures, %d superseded-file removals failed\n",
+				st.CheckpointFailures, st.GCRemoveFailures)
+		}
 		if err := db.Close(); err != nil {
 			fatalf("closing data dir: %v", err)
 		}

@@ -17,7 +17,7 @@ import (
 func FuzzSnapshotDecode(f *testing.F) {
 	seed := func(st State) {
 		dir := f.TempDir()
-		if err := writeSnapshotFile(dir, 3, st); err != nil {
+		if err := writeSnapshotFile(OS, dir, 3, st); err != nil {
 			f.Fatal(err)
 		}
 		b, err := os.ReadFile(snapshotPath(dir, 3))
@@ -46,10 +46,10 @@ func FuzzSnapshotDecode(f *testing.F) {
 			st.Saturated = ls.Saturated
 		}
 		dir := t.TempDir()
-		if err := writeSnapshotFile(dir, ls.Generation, st); err != nil {
+		if err := writeSnapshotFile(OS, dir, ls.Generation, st); err != nil {
 			t.Fatalf("re-encoding accepted snapshot: %v", err)
 		}
-		ls2, err := readSnapshotFile(snapshotPath(dir, ls.Generation))
+		ls2, err := readSnapshotFile(OS, snapshotPath(dir, ls.Generation))
 		if err != nil {
 			t.Fatalf("re-decoding re-encoded snapshot: %v", err)
 		}

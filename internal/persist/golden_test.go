@@ -47,7 +47,7 @@ func goldenState() State {
 // file) so old files are refused rather than misread.
 func TestGoldenSnapshot(t *testing.T) {
 	dir := t.TempDir()
-	if err := writeSnapshotFile(dir, 2, goldenState()); err != nil {
+	if err := writeSnapshotFile(OS, dir, 2, goldenState()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(snapshotPath(dir, 2))

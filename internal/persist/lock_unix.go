@@ -3,7 +3,6 @@
 package persist
 
 import (
-	"fmt"
 	"os"
 	"path/filepath"
 	"syscall"
@@ -21,7 +20,10 @@ func lockDir(dir string) (*os.File, error) {
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("persist: %s is in use by another process (flock: %w)", dir, err)
+		// A held flock means another live process owns the directory; wrap
+		// it as a LockedError so front ends can print remediation (the raw
+		// EWOULDBLOCK tells an operator nothing) — errors.Is(err, ErrLocked).
+		return nil, &LockedError{Dir: dir, Err: err}
 	}
 	return f, nil
 }

@@ -40,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +88,23 @@ type Options struct {
 	// CheckpointRecords triggers a checkpoint after this many WAL records.
 	// Zero means DefaultCheckpointRecords; negative disables the trigger.
 	CheckpointRecords int
+	// MaxWALBytes bounds the bytes of live WAL generations — everything not
+	// yet superseded by a durable snapshot. When checkpoints fail repeatedly
+	// (a full or broken disk) the chain cannot be garbage-collected, and
+	// without a bound the WAL would grow until it fills the disk; past the
+	// bound, appends are refused with ErrWALBound so the caller can degrade
+	// to read-only serving instead. Zero means DefaultMaxWALBytes; negative
+	// disables the bound.
+	MaxWALBytes int64
+	// CheckpointBackoff is the initial delay before retrying a failed
+	// checkpoint's snapshot write; consecutive failures double it up to
+	// CheckpointBackoffMax. Zero means the defaults.
+	CheckpointBackoff    time.Duration
+	CheckpointBackoffMax time.Duration
+	// FS routes every filesystem operation the DB performs; nil means OS,
+	// the real filesystem. Tests interpose deterministic faults by passing a
+	// wrapped FS (see internal/faultfs).
+	FS FS
 }
 
 // Default checkpoint thresholds. Recovery replays the WAL tail through the
@@ -98,6 +116,20 @@ type Options struct {
 const (
 	DefaultCheckpointBytes   = 64 << 20
 	DefaultCheckpointRecords = 4096
+	// DefaultMaxWALBytes is the live-chain byte bound: 16× the checkpoint
+	// byte trigger, so only a sustained inability to checkpoint (not a burst
+	// of writes) can reach it.
+	DefaultMaxWALBytes = 1 << 30
+)
+
+// Default checkpoint-retry backoff: quick first retry (a transient error —
+// brief ENOSPC, a hiccuping volume — resolves in milliseconds), capped so a
+// persistently broken disk is probed at a human-observable cadence instead
+// of never (the pre-retry behaviour left the superseded chain un-collected
+// forever after a single failure).
+const (
+	DefaultCheckpointBackoff    = 250 * time.Millisecond
+	DefaultCheckpointBackoffMax = 30 * time.Second
 )
 
 // DefaultGroupDelay is the SyncGroup coalescing window: one fsync per
@@ -109,6 +141,25 @@ const DefaultGroupDelay = time.Millisecond
 // ErrDBClosed is returned by operations on a closed DB.
 var ErrDBClosed = errors.New("persist: DB closed")
 
+// ErrLocked matches (via errors.Is) the error Open returns when another
+// process holds the data directory's LOCK file.
+var ErrLocked = errors.New("persist: data directory locked")
+
+// LockedError is the concrete error behind ErrLocked: the directory whose
+// LOCK another process holds, with enough context for a friendly message.
+type LockedError struct {
+	Dir string
+	Err error // the underlying flock error
+}
+
+func (e *LockedError) Error() string {
+	return fmt.Sprintf("persist: data directory %s is in use by another process (flock on %s is held): stop the other process using this directory, or point this one at a different directory",
+		e.Dir, filepath.Join(e.Dir, "LOCK"))
+}
+
+func (e *LockedError) Unwrap() error        { return e.Err }
+func (e *LockedError) Is(target error) bool { return target == ErrLocked }
+
 // DB is an open data directory: the state recovered from it plus the active
 // WAL. Append and AppendAck are goroutine-safe (concurrent producers are the
 // point of group commit; writes are serialized internally). CheckpointDue,
@@ -118,6 +169,7 @@ var ErrDBClosed = errors.New("persist: DB closed")
 type DB struct {
 	dir  string
 	opts Options
+	fs   FS // all file operations route through this (Options.FS or OS)
 
 	loaded *LoadedState // nil when the directory held no snapshot
 	tail   []Mutation   // WAL records newer than the loaded snapshot
@@ -126,9 +178,10 @@ type DB struct {
 
 	mu         sync.Mutex // guards the fields below (append vs rotate vs close)
 	gen        uint64     // active WAL generation
-	wal        *os.File
+	wal        File
 	walSize    int64
 	walRecords int
+	chainBytes int64  // bytes across every live WAL generation (MaxWALBytes input)
 	buf        []byte // record encode scratch
 	closed     bool
 
@@ -149,7 +202,24 @@ type DB struct {
 	ckptBusy atomic.Bool
 	bg       sync.WaitGroup
 	bgMu     sync.Mutex
-	bgErr    error // first background checkpoint failure (sticky)
+	// bgErr holds the most recent checkpoint failure; a later successful
+	// checkpoint (a backoff retry that got through) clears it, so Close only
+	// reports a failure the retries never recovered from.
+	bgErr error
+	// Checkpoint-retry state (guarded by bgMu). While retryPending, the due
+	// thresholds are gated by retryAt — consecutive failures back off
+	// exponentially instead of hammering a broken disk — and the next
+	// attempt re-writes the *current* generation's snapshot from a fresh
+	// state capture rather than rotating again (each rotation would mint a
+	// new WAL file, growing the very chain the checkpoint is meant to
+	// collect).
+	retryPending bool
+	retryAt      time.Time
+	backoff      time.Duration
+	lastCkpt     time.Time // completion time of the last durable checkpoint
+
+	ckptFails atomic.Int64 // cumulative failed checkpoint attempts
+	gcFails   atomic.Int64 // cumulative failed superseded-file removals
 }
 
 // Open opens (creating if needed) the data directory and recovers its state:
@@ -166,6 +236,18 @@ func Open(dir string, opts Options) (*DB, error) {
 	if opts.GroupDelay == 0 {
 		opts.GroupDelay = DefaultGroupDelay
 	}
+	if opts.MaxWALBytes == 0 {
+		opts.MaxWALBytes = DefaultMaxWALBytes
+	}
+	if opts.CheckpointBackoff <= 0 {
+		opts.CheckpointBackoff = DefaultCheckpointBackoff
+	}
+	if opts.CheckpointBackoffMax <= 0 {
+		opts.CheckpointBackoffMax = DefaultCheckpointBackoffMax
+	}
+	if opts.FS == nil {
+		opts.FS = OS
+	}
 	switch opts.Sync {
 	case SyncAlways, SyncNever, SyncGroup:
 	default:
@@ -174,7 +256,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		// with their durability callbacks never firing.
 		return nil, fmt.Errorf("persist: unknown sync policy %d", opts.Sync)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	// One DB per directory: concurrent processes recovering, appending and
@@ -193,18 +275,21 @@ func Open(dir string, opts Options) (*DB, error) {
 	// Sweep snapshot temporaries orphaned by a crash mid-checkpoint: the
 	// atomic rename means they were never part of the durable state, and
 	// nothing else ever deletes them.
-	if tmps, err := filepath.Glob(filepath.Join(dir, "*.snap.tmp")); err == nil {
-		for _, tmp := range tmps {
-			os.Remove(tmp)
+	if entries, err := opts.FS.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".snap.tmp") {
+				opts.FS.Remove(filepath.Join(dir, e.Name()))
+			}
 		}
 	}
-	snaps, wals, err := scanDir(dir)
+	snaps, wals, err := scanDir(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
 
-	db := &DB{dir: dir, opts: opts, gen: 1, lock: lock}
+	db := &DB{dir: dir, opts: opts, fs: opts.FS, gen: 1, lock: lock}
 	activeRecords := 0
+	chainBytes := int64(0) // bytes of live non-active WAL generations
 
 	// Load the newest valid snapshot; fall back past unreadable ones (a
 	// crash cannot produce a half-renamed snapshot, but bit rot can produce
@@ -212,7 +297,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	// chain covers the same history).
 	var snapErrs []error
 	for i := len(snaps) - 1; i >= 0; i-- {
-		ls, err := readSnapshotFile(snapshotPath(dir, snaps[i]))
+		ls, err := readSnapshotFile(opts.FS, snapshotPath(dir, snaps[i]))
 		if err != nil {
 			snapErrs = append(snapErrs, fmt.Errorf("snap %d: %w", snaps[i], err))
 			continue
@@ -241,12 +326,23 @@ func Open(dir string, opts Options) (*DB, error) {
 		if g != expected {
 			return nil, fmt.Errorf("%w: generation gap, wal %d where %d was expected", ErrWALCorrupt, g, expected)
 		}
-		expected = g + 1
 		path := walPath(dir, g)
-		b, err := os.ReadFile(path)
+		b, err := opts.FS.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
+		if len(b) < walHeaderLen && g == wals[len(wals)-1] {
+			// Torn rotation: a crash between creating the next generation's
+			// file and completing its header leaves a short file that never
+			// held a record. Drop it and resume the previous generation —
+			// every acknowledged record lives at or below that one. A short
+			// file anywhere else in the chain is still corruption.
+			if err := opts.FS.Remove(path); err != nil {
+				return nil, err
+			}
+			break
+		}
+		expected = g + 1
 		recs, validLen, err := decodeWAL(b, g)
 		if err != nil {
 			return nil, fmt.Errorf("persist: %s: %w", path, err)
@@ -255,12 +351,13 @@ func Open(dir string, opts Options) (*DB, error) {
 			if g != wals[len(wals)-1] {
 				return nil, fmt.Errorf("%w: %s has a torn record but is not the newest log", ErrWALCorrupt, path)
 			}
-			if err := os.Truncate(path, validLen); err != nil {
+			if err := opts.FS.Truncate(path, validLen); err != nil {
 				return nil, err
 			}
 		}
 		db.tail = append(db.tail, recs...)
 		activeRecords = len(recs)
+		chainBytes += validLen
 	}
 	if expected > db.gen {
 		db.gen = expected - 1 // newest WAL seen stays the active generation
@@ -275,6 +372,10 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.walRecords = activeRecords
+	if len(wals) == 0 || wals[len(wals)-1] < db.gen {
+		chainBytes += db.walSize // the active WAL was created fresh above
+	}
+	db.chainBytes = chainBytes
 	// Remove files superseded by the loaded snapshot.
 	db.removeBelow(db.loadedGen())
 	if opts.Sync == SyncGroup {
@@ -299,7 +400,7 @@ func (db *DB) loadedGen() uint64 {
 // when absent. Called with db.mu effectively held (Open and rotate).
 func (db *DB) openActiveWAL() error {
 	path := walPath(db.dir, db.gen)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	f, err := db.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -321,7 +422,7 @@ func (db *DB) openActiveWAL() error {
 				f.Close()
 				return err
 			}
-			if err := syncDir(db.dir); err != nil {
+			if err := syncDir(db.fs, db.dir); err != nil {
 				f.Close()
 				return err
 			}
@@ -417,15 +518,41 @@ func (db *DB) AppendAck(del bool, ts []rdf.Triple, ack func(error)) error {
 		db.mu.Unlock()
 		return errRecordTooLarge
 	}
+	if db.opts.MaxWALBytes > 0 && db.chainBytes+int64(len(db.buf)) > db.opts.MaxWALBytes {
+		// Checkpoints have failed for long enough that the un-collected
+		// chain would outgrow its byte bound: refuse the append (the server
+		// degrades to read-only) rather than write until the disk is full —
+		// at which point even the recovery checkpoint could not be written.
+		chain, gen := db.chainBytes, db.gen
+		db.mu.Unlock()
+		return fmt.Errorf("%w: %d bytes live across generations ≤%d (bound %d)",
+			ErrWALBound, chain, gen, db.opts.MaxWALBytes)
+	}
 	if _, err := db.wal.Write(db.buf); err != nil {
+		// A failed write may have persisted a prefix of the record, leaving
+		// garbage at the file's tail. Sticky for the same reason as a failed
+		// group fsync: appending past the torn bytes would bury them mid-file
+		// (recovery only tolerates a torn FINAL record), and rotating would
+		// strand them mid-chain — either way the directory stops recovering.
+		if db.groupErr == nil {
+			db.groupErr = err
+		}
 		db.mu.Unlock()
 		return err
 	}
 	db.walSize += int64(len(db.buf))
+	db.chainBytes += int64(len(db.buf))
 	db.walRecords++
 	switch db.opts.Sync {
 	case SyncAlways:
 		err := db.wal.Sync()
+		if err != nil && db.groupErr == nil {
+			// Same hazard as a failed group fsync: the kernel may drop the
+			// dirty pages and clear the error, so a later fsync could
+			// "succeed" past a hole. No append or rotation after this point
+			// may be trusted until the DB is reopened.
+			db.groupErr = err
+		}
 		db.mu.Unlock()
 		if err != nil {
 			return err
@@ -540,11 +667,22 @@ func (db *DB) groupFlush() {
 	}
 }
 
-// CheckpointDue reports whether the active WAL has grown past the configured
-// checkpoint thresholds and no checkpoint is already in flight.
+// CheckpointDue reports whether a checkpoint should be attempted now: the
+// active WAL has grown past the configured thresholds and no checkpoint is
+// in flight — or a previously failed checkpoint's backoff window has
+// elapsed and a retry is due. While a retry is pending the ordinary
+// thresholds are suppressed: the WAL keeps growing past them (nothing
+// rotated), and honouring them would hammer a broken disk with zero-delay
+// attempts instead of backing off.
 func (db *DB) CheckpointDue() bool {
 	if db.ckptBusy.Load() {
 		return false
+	}
+	db.bgMu.Lock()
+	pending, at := db.retryPending, db.retryAt
+	db.bgMu.Unlock()
+	if pending {
+		return !time.Now().Before(at)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -554,29 +692,80 @@ func (db *DB) CheckpointDue() bool {
 	return db.opts.CheckpointRecords > 0 && db.walRecords >= db.opts.CheckpointRecords
 }
 
+// CheckpointRetryAfter returns how long until the caller should next check
+// the checkpoint state; ok is false when there is nothing to watch. It
+// reports a wait in two cases: a failed checkpoint's backoff retry is
+// scheduled (wait until it is due), or an attempt is still in flight (wait
+// one backoff unit and look again — the attempt's outcome, recorded
+// asynchronously, decides whether a retry follows). Callers that schedule
+// checkpoints only at write boundaries use it to arm a timer, so an idle
+// server still retries (and eventually garbage-collects the superseded
+// chain) without new mutations arriving.
+func (db *DB) CheckpointRetryAfter() (d time.Duration, ok bool) {
+	if db.ckptBusy.Load() {
+		return db.opts.CheckpointBackoff, true
+	}
+	db.bgMu.Lock()
+	defer db.bgMu.Unlock()
+	if !db.retryPending {
+		return 0, false
+	}
+	return max(time.Until(db.retryAt), 0), true
+}
+
+// checkpointTarget picks the generation the next checkpoint writes. The
+// normal path rotates: appends move to a fresh WAL and the snapshot captures
+// the state at that boundary. A backoff retry instead re-writes the current
+// generation's snapshot from the caller's fresh state capture, without
+// rotating — each extra rotation would mint another WAL file and grow the
+// very chain the checkpoint is meant to collect. Re-using the generation is
+// sound because WAL replay is idempotent at set level: the retried snapshot
+// captures a state mid-generation, so recovery re-applies the records of
+// wal-gen that precede the capture, and re-applying a full in-order prefix
+// of insert/delete runs through the normal mutation path reproduces exactly
+// the membership the capture already holds (each triple's final state is
+// decided by its last record, same as it was live).
+func (db *DB) checkpointTarget() (uint64, error) {
+	db.bgMu.Lock()
+	pending := db.retryPending
+	db.bgMu.Unlock()
+	if pending {
+		return db.Generation(), nil
+	}
+	return db.rotate()
+}
+
 // Checkpoint synchronously ends the current generation with the given state:
 // appends rotate to a fresh WAL, the snapshot is written and fsynced, and
 // superseded files are removed. It blocks until the snapshot is durable —
 // use it for bootstrap (initial bulk load) and final (clean shutdown)
 // checkpoints, where the caller must not proceed on a promise.
 func (db *DB) Checkpoint(st State) error {
-	gen, err := db.rotate()
+	gen, err := db.checkpointTarget()
 	if err != nil {
 		return err
 	}
-	return db.writeCheckpoint(gen, st)
+	if err := db.writeCheckpoint(gen, st); err != nil {
+		db.noteCheckpointFailure(err)
+		return err
+	}
+	return nil
 }
 
 // CheckpointAsync ends the current generation like Checkpoint but serialises
 // the snapshot on a background goroutine, so the writer only pays the WAL
-// rotation (one file create). A failure is sticky: it surfaces on Close and
-// suppresses file GC, leaving the previous chain intact for recovery. No-op
-// if a checkpoint is already in flight.
+// rotation (one file create). A snapshot-write failure is not fatal: it
+// schedules a capped-exponential-backoff retry (CheckpointDue turns true
+// again once the window elapses, and the next attempt re-writes this
+// generation from a fresh state capture), counts toward Stats, and — only if
+// no later attempt ever succeeds — surfaces on Close. The superseded chain
+// stays intact for recovery throughout. No-op if a checkpoint is already in
+// flight.
 func (db *DB) CheckpointAsync(st State) error {
 	if !db.ckptBusy.CompareAndSwap(false, true) {
 		return nil
 	}
-	gen, err := db.rotate()
+	gen, err := db.checkpointTarget()
 	if err != nil {
 		db.ckptBusy.Store(false)
 		return err
@@ -586,14 +775,27 @@ func (db *DB) CheckpointAsync(st State) error {
 		defer db.bg.Done()
 		defer db.ckptBusy.Store(false)
 		if err := db.writeCheckpoint(gen, st); err != nil {
-			db.bgMu.Lock()
-			if db.bgErr == nil {
-				db.bgErr = err
-			}
-			db.bgMu.Unlock()
+			db.noteCheckpointFailure(err)
 		}
 	}()
 	return nil
+}
+
+// noteCheckpointFailure records a failed snapshot write and schedules its
+// backoff retry: the first failure retries after CheckpointBackoff, each
+// consecutive failure doubles the delay up to CheckpointBackoffMax.
+func (db *DB) noteCheckpointFailure(err error) {
+	db.ckptFails.Add(1)
+	db.bgMu.Lock()
+	db.bgErr = err // latest failure wins; cleared by the next success
+	if !db.retryPending || db.backoff <= 0 {
+		db.backoff = db.opts.CheckpointBackoff
+	} else {
+		db.backoff = min(2*db.backoff, db.opts.CheckpointBackoffMax)
+	}
+	db.retryPending = true
+	db.retryAt = time.Now().Add(db.backoff)
+	db.bgMu.Unlock()
 }
 
 // rotate switches appends to the next generation's WAL and returns that
@@ -645,6 +847,7 @@ func (db *DB) rotate() (uint64, error) {
 		fireAcks(acks, nil)
 		return 0, err
 	}
+	db.chainBytes += db.walSize // the fresh generation's header joins the chain
 	gen := db.gen
 	db.mu.Unlock()
 	fireAcks(acks, nil)
@@ -658,30 +861,53 @@ func fireAcks(acks []func(error), err error) {
 	}
 }
 
-// writeCheckpoint serialises st as snap-gen and garbage-collects the
-// generations it supersedes.
+// writeCheckpoint serialises st as snap-gen, garbage-collects the
+// generations it supersedes, and clears any pending retry state — the
+// durable history is checkpointed again, whatever earlier attempts failed.
 func (db *DB) writeCheckpoint(gen uint64, st State) error {
-	if err := writeSnapshotFile(db.dir, gen, st); err != nil {
+	if err := writeSnapshotFile(db.fs, db.dir, gen, st); err != nil {
 		return err
 	}
 	db.removeBelow(gen)
+	db.mu.Lock()
+	// The live chain is now exactly the active generation (gen's WAL);
+	// everything below it just got collected.
+	db.chainBytes = db.walSize
+	db.mu.Unlock()
+	db.bgMu.Lock()
+	db.bgErr = nil
+	db.retryPending = false
+	db.backoff = 0
+	db.lastCkpt = time.Now()
+	db.bgMu.Unlock()
 	return nil
 }
 
-// removeBelow deletes snapshots and WALs of generations older than gen.
+// removeBelow deletes snapshots and WALs of generations older than gen. A
+// removal failure is counted (Stats.GCRemoveFailures) but not fatal: the
+// file is superseded, recovery ignores it as long as the chain above stays
+// valid, and the next checkpoint's GC pass — which rescans the directory —
+// re-attempts it.
 func (db *DB) removeBelow(gen uint64) {
-	snaps, wals, err := scanDir(db.dir)
+	snaps, wals, err := scanDir(db.fs, db.dir)
 	if err != nil {
+		db.gcFails.Add(1)
 		return
+	}
+	remove := func(path string) {
+		if err := db.fs.Remove(path); err != nil && !os.IsNotExist(err) {
+			// ENOENT is not a failure: a concurrent pass already won.
+			db.gcFails.Add(1)
+		}
 	}
 	for _, g := range snaps {
 		if g < gen {
-			os.Remove(snapshotPath(db.dir, g))
+			remove(snapshotPath(db.dir, g))
 		}
 	}
 	for _, g := range wals {
 		if g < gen {
-			os.Remove(walPath(db.dir, g))
+			remove(walPath(db.dir, g))
 		}
 	}
 }
@@ -702,10 +928,57 @@ func (db *DB) Generation() uint64 {
 	return db.gen
 }
 
+// Stats is a point-in-time health view of the DB. Server.Health folds it
+// into the serving-layer report; operators alert on ChainBytes (approaching
+// MaxWALBytes means checkpoints are failing), CheckpointFailures and
+// GCRemoveFailures.
+type Stats struct {
+	// Generation is the active WAL generation.
+	Generation uint64
+	// WALSize is the active WAL file's size in bytes.
+	WALSize int64
+	// WALRecords counts records in the active generation (including a
+	// recovered tail).
+	WALRecords int
+	// ChainBytes is the byte total across every live WAL generation — the
+	// quantity Options.MaxWALBytes bounds, and exactly the replay debt the
+	// next recovery pays.
+	ChainBytes int64
+	// LastCheckpoint is the completion time of the last durable checkpoint
+	// written by this process; zero if none completed yet.
+	LastCheckpoint time.Time
+	// CheckpointFailures counts failed checkpoint attempts (cumulative).
+	CheckpointFailures int64
+	// CheckpointRetryPending reports that the last checkpoint failed and a
+	// backoff retry is scheduled.
+	CheckpointRetryPending bool
+	// GCRemoveFailures counts superseded-file removals that failed
+	// (cumulative); each is re-attempted on the next checkpoint's GC pass.
+	GCRemoveFailures int64
+}
+
+// Stats returns the DB's current health counters. Safe for any goroutine.
+func (db *DB) Stats() Stats {
+	var st Stats
+	db.mu.Lock()
+	st.Generation = db.gen
+	st.WALSize = db.walSize
+	st.WALRecords = db.walRecords
+	st.ChainBytes = db.chainBytes
+	db.mu.Unlock()
+	db.bgMu.Lock()
+	st.LastCheckpoint = db.lastCkpt
+	st.CheckpointRetryPending = db.retryPending
+	db.bgMu.Unlock()
+	st.CheckpointFailures = db.ckptFails.Load()
+	st.GCRemoveFailures = db.gcFails.Load()
+	return st
+}
+
 // Close waits for any in-flight checkpoint, completes staged group-commit
 // acks under the final sync, stops the syncer, syncs and closes the active
-// WAL, and returns the first background checkpoint error, if any. The DB
-// must not be used afterwards.
+// WAL, and returns the latest background checkpoint error if no retry ever
+// recovered from it. The DB must not be used afterwards.
 func (db *DB) Close() error {
 	db.bg.Wait()
 	db.syncMu.Lock()
@@ -751,8 +1024,8 @@ func (db *DB) Close() error {
 }
 
 // scanDir lists the snapshot and WAL generations present in dir, ascending.
-func scanDir(dir string) (snaps, wals []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func scanDir(fsys FS, dir string) (snaps, wals []uint64, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}

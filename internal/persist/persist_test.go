@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/dict"
@@ -116,7 +117,7 @@ func TestCheckpointRotateAndGC(t *testing.T) {
 	}
 
 	// Old generation's files must be gone, the new pair present.
-	snaps, wals, err := scanDir(dir)
+	snaps, wals, err := scanDir(OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,6 +214,56 @@ func TestTornFinalRecordTruncated(t *testing.T) {
 		db3, err := Open(dir2, Options{})
 		if err != nil {
 			t.Fatalf("cut at %d: reopen after append: %v", cut, err)
+		}
+		if got := collect(t, db3); len(got) != 2 || got[1].Triples[0] != triple(9) {
+			t.Fatalf("cut at %d: tail after append = %+v", cut, got)
+		}
+		db3.Close()
+	}
+}
+
+// TestTornRotationHeaderRecovered simulates a crash between a rotation
+// creating the next generation's WAL and completing its header: the newest
+// file is shorter than a header and holds no records. Recovery must drop it
+// and resume the previous generation instead of refusing the directory.
+func TestTornRotationHeaderRecovered(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Append(false, []rdf.Triple{triple(1)})
+	db.Close()
+	header := encodeWALHeader(2)
+
+	for cut := 0; cut < walHeaderLen; cut++ {
+		dir2 := t.TempDir()
+		data, err := os.ReadFile(walPath(dir, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, filepath.Base(walPath(dir, 1))), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, filepath.Base(walPath(dir, 2))), header[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := Open(dir2, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d: Open: %v", cut, err)
+		}
+		if db2.Generation() != 1 {
+			t.Fatalf("cut at %d: generation %d, want 1 (torn rotation undone)", cut, db2.Generation())
+		}
+		tail := collect(t, db2)
+		if len(tail) != 1 || tail[0].Triples[0] != triple(1) {
+			t.Fatalf("cut at %d: tail = %+v, want record 1 only", cut, tail)
+		}
+		db2.Append(false, []rdf.Triple{triple(9)})
+		db2.Close()
+		db3, err := Open(dir2, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d: reopen: %v", cut, err)
 		}
 		if got := collect(t, db3); len(got) != 2 || got[1].Triples[0] != triple(9) {
 			t.Fatalf("cut at %d: tail after append = %+v", cut, got)
@@ -433,10 +484,10 @@ func TestSnapshotRoundTripBothBaseForms(t *testing.T) {
 	for _, saturated := range []bool{false, true} {
 		dir := t.TempDir()
 		st := mkState(t, 7, saturated)
-		if err := writeSnapshotFile(dir, 9, st); err != nil {
+		if err := writeSnapshotFile(OS, dir, 9, st); err != nil {
 			t.Fatal(err)
 		}
-		ls, err := readSnapshotFile(snapshotPath(dir, 9))
+		ls, err := readSnapshotFile(OS, snapshotPath(dir, 9))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -466,6 +517,21 @@ func TestDirectoryLock(t *testing.T) {
 	}
 	if _, err := Open(dir, Options{}); err == nil {
 		t.Fatal("second Open of a locked directory succeeded")
+	} else {
+		// The failure must be typed (front ends branch on it) and its message
+		// must carry the operator's remediation: which directory, and what to
+		// do about it.
+		if !errors.Is(err, ErrLocked) {
+			t.Fatalf("second Open error should match ErrLocked, got %v", err)
+		}
+		var le *LockedError
+		if !errors.As(err, &le) || le.Dir != dir {
+			t.Fatalf("second Open error should be a LockedError carrying %s, got %v", dir, err)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, dir) || !strings.Contains(msg, "stop the other process") {
+			t.Fatalf("lock error should name the directory and remediation, got %q", msg)
+		}
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)

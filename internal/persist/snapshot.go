@@ -102,8 +102,9 @@ func snapshotPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", gen))
 }
 
-// writeSnapshotFile serialises st as generation gen into dir, atomically.
-func writeSnapshotFile(dir string, gen uint64, st State) error {
+// writeSnapshotFile serialises st as generation gen into dir, atomically,
+// through the given FS.
+func writeSnapshotFile(fsys FS, dir string, gen uint64, st State) error {
 	var body bytes.Buffer
 	header := make([]byte, 0, 20)
 	header = append(header, snapMagic...)
@@ -163,18 +164,18 @@ func writeSnapshotFile(dir string, gen uint64, st State) error {
 
 	final := snapshotPath(dir, gen)
 	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, body.Bytes()); err != nil {
+	if err := writeFileSync(fsys, tmp, body.Bytes()); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := fsys.Rename(tmp, final); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // readSnapshotFile loads and validates one snapshot file.
-func readSnapshotFile(path string) (*LoadedState, error) {
-	b, err := os.ReadFile(path)
+func readSnapshotFile(fsys FS, path string) (*LoadedState, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -266,8 +267,8 @@ func decodeSnapshot(b []byte) (*LoadedState, error) {
 }
 
 // writeFileSync writes data to path and fsyncs it.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeFileSync(fsys FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -283,8 +284,8 @@ func writeFileSync(path string, data []byte) error {
 }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
+func syncDir(fsys FS, dir string) error {
+	f, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}

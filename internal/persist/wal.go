@@ -51,6 +51,13 @@ const (
 // final append (mid-log CRC failure, undecodable payload, bad header).
 var ErrWALCorrupt = errors.New("persist: corrupt WAL")
 
+// ErrWALBound marks an append refused because the live WAL chain — every
+// generation not yet superseded by a durable snapshot — would exceed
+// Options.MaxWALBytes. It only arises when checkpoints keep failing (GC
+// cannot run); the caller should degrade to read-only serving and surface
+// the condition rather than keep writing toward a full disk.
+var ErrWALBound = errors.New("persist: WAL chain exceeds configured byte bound")
+
 // Mutation is one replayable WAL record: a run of inserts or deletes.
 type Mutation struct {
 	Del     bool

@@ -1,7 +1,9 @@
 package webreason
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +68,64 @@ const (
 
 // ErrServerClosed is returned by mutations and flushes after Close.
 var ErrServerClosed = errors.New("webreason: server closed")
+
+// ErrDegraded marks a server that has dropped to degraded read-only mode: a
+// durability failure (failed WAL fsync, checkpoint rotation error, the WAL
+// chain hitting its byte bound) made further writes unsafe to acknowledge.
+// Reads keep serving the last applied snapshot; every write fails fast with
+// a DegradedError wrapping this sentinel — match with
+// errors.Is(err, ErrDegraded).
+var ErrDegraded = errors.New("webreason: server degraded to read-only")
+
+// DegradedError is the concrete error writes receive from a degraded
+// server. It unwraps to both ErrDegraded and the underlying durability
+// failure, so errors.Is can match either the mode or the root cause
+// (e.g. syscall.ENOSPC, persist.ErrWALBound).
+type DegradedError struct {
+	// Cause is the durability failure that forced the degradation.
+	Cause error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("webreason: server degraded to read-only: %v", e.Cause)
+}
+
+func (e *DegradedError) Unwrap() []error { return []error{ErrDegraded, e.Cause} }
+
+// wrapDegraded types a sticky durability error for callers; nil and
+// already-wrapped errors pass through.
+func wrapDegraded(err error) error {
+	if err == nil {
+		return nil
+	}
+	var de *DegradedError
+	if errors.As(err, &de) {
+		return err
+	}
+	return &DegradedError{Cause: err}
+}
+
+// ErrOverloaded marks a write the server refused to admit: the mutation
+// queue stayed at MaxPending until the caller's context expired. It is the
+// admission-control primitive — a front end maps it to 429/503 with the
+// context's deadline as the retry hint. Match with
+// errors.Is(err, ErrOverloaded); the concrete error is an OverloadedError.
+var ErrOverloaded = errors.New("webreason: server overloaded")
+
+// OverloadedError reports a write bounced by admission control.
+type OverloadedError struct {
+	// Pending is the queue depth observed when the caller gave up.
+	Pending int
+	// Cause is the context error that ended the wait
+	// (context.DeadlineExceeded or context.Canceled).
+	Cause error
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("webreason: server overloaded: %d mutations pending: %v", e.Pending, e.Cause)
+}
+
+func (e *OverloadedError) Unwrap() []error { return []error{ErrOverloaded, e.Cause} }
 
 // Server wraps a Strategy as a goroutine-safe serving layer: any number of
 // goroutines may call Query, Ask, Prepare and prepared-query executions
@@ -147,6 +207,40 @@ var ErrServerClosed = errors.New("webreason: server closed")
 // durable under the configured policy; without a DB they degrade to "applied
 // to the in-memory state". Plain Insert/Delete never wait on an fsync under
 // any policy.
+//
+// # Degraded read-only mode
+//
+// A durability failure the server cannot write around — a failed WAL append
+// or fsync, a checkpoint rotation error, the WAL chain reaching
+// DBOptions.MaxWALBytes — flips the server into degraded read-only mode
+// rather than killing it or, worse, acknowledging writes it cannot make
+// durable. In that mode:
+//
+//   - reads (Query, Ask, prepared executions) keep serving the last applied
+//     snapshot indefinitely;
+//   - every write fails fast with a DegradedError wrapping ErrDegraded and
+//     the root cause — including writes already queued behind the failure,
+//     which are refused, never applied;
+//   - session reads stay honest: a Session whose own accepted write was
+//     refused gets a DegradedError instead of an answer silently missing
+//     that write, while sessions untouched by the divergence keep reading;
+//   - Health reports the mode, its cause, and the durability counters an
+//     operator needs (WAL chain size, checkpoint age and failures).
+//
+// Degradation is sticky for the server's lifetime: recovering requires a
+// restart, whose WAL replay reconstructs exactly the durable history.
+// Failed background checkpoints alone do NOT degrade the server — they
+// retry with capped exponential backoff (the WAL chain meanwhile grows,
+// bounded by MaxWALBytes, which degrades when hit).
+//
+// # Admission control
+//
+// The *Context mutation variants bound the MaxPending backpressure wait: a
+// write that cannot be admitted before its context expires returns an
+// OverloadedError (wrapping ErrOverloaded) carrying the observed queue
+// depth — the hook a front end maps to 429/503. The *DurableContext
+// variants additionally bound the durability wait; cancelling that wait
+// abandons the acknowledgement, not the write.
 type Server struct {
 	strat core.Strategy
 	opts  ServerOptions
@@ -164,13 +258,24 @@ type Server struct {
 	applied atomic.Uint64
 	durErr  error // sticky WAL append failure; fails further mutations
 	closed  bool
+	// divergedAt is the enqueue seq of the first accepted mutation the
+	// degraded server refused to apply (0 = none). Session reads whose
+	// watermark reaches it fail with DegradedError instead of silently
+	// serving state that is missing the session's own accepted write; reads
+	// below it still have their full read-your-writes guarantee and keep
+	// serving. Written once by the writer, read lock-free by sessions.
+	divergedAt atomic.Uint64
 
 	kick chan struct{} // nudges the writer loop (capacity 1)
 	done chan struct{} // closed to stop the writer loop
 	// flushTimer bounds batch latency: armed when the queue goes non-empty,
 	// stopped when it drains, so an idle server schedules no wakeups at all.
 	flushTimer *time.Timer
-	wg         sync.WaitGroup
+	// ckptTimer schedules background checkpoint retries after a failure, so
+	// an idle server still re-attempts (and eventually garbage-collects the
+	// superseded chain) without waiting for the next mutation.
+	ckptTimer *time.Timer
+	wg        sync.WaitGroup
 }
 
 // mutation is one queued Insert or Delete call. ack, when set, fires once
@@ -211,6 +316,8 @@ func NewServer(s Strategy, opts ServerOptions) *Server {
 	srv.cond = sync.NewCond(&srv.mu)
 	srv.flushTimer = time.NewTimer(time.Hour)
 	srv.flushTimer.Stop()
+	srv.ckptTimer = time.NewTimer(time.Hour)
+	srv.ckptTimer.Stop()
 	srv.wg.Add(1)
 	go srv.writer()
 	return srv
@@ -230,13 +337,27 @@ func (s *Server) Ask(q *Query) (bool, error) { return s.strat.Ask(q) }
 // Insert validates the triples and enqueues their assertion, returning
 // before the batch is applied (see the staleness note in the type doc).
 func (s *Server) Insert(ts ...Triple) error {
-	_, err := s.enqueue(false, ts, nil)
+	_, err := s.enqueue(context.Background(), false, ts, nil)
 	return err
 }
 
 // Delete validates the triples and enqueues their retraction.
 func (s *Server) Delete(ts ...Triple) error {
-	_, err := s.enqueue(true, ts, nil)
+	_, err := s.enqueue(context.Background(), true, ts, nil)
+	return err
+}
+
+// InsertContext is Insert with deadline-aware admission control: if the
+// mutation queue stays at MaxPending until ctx expires, it returns an
+// OverloadedError instead of blocking indefinitely.
+func (s *Server) InsertContext(ctx context.Context, ts ...Triple) error {
+	_, err := s.enqueue(ctx, false, ts, nil)
+	return err
+}
+
+// DeleteContext is Delete with deadline-aware admission control.
+func (s *Server) DeleteContext(ctx context.Context, ts ...Triple) error {
+	_, err := s.enqueue(ctx, true, ts, nil)
 	return err
 }
 
@@ -247,25 +368,52 @@ func (s *Server) Delete(ts ...Triple) error {
 // mutation is applied. A nil return means the write is logged and fsynced:
 // it survives power loss (SyncAlways/SyncGroup) or process crash
 // (SyncNever).
-func (s *Server) InsertDurable(ts ...Triple) error { return s.durably(false, ts) }
+func (s *Server) InsertDurable(ts ...Triple) error { return s.durably(context.Background(), false, ts) }
 
 // DeleteDurable is InsertDurable for retractions.
-func (s *Server) DeleteDurable(ts ...Triple) error { return s.durably(true, ts) }
+func (s *Server) DeleteDurable(ts ...Triple) error { return s.durably(context.Background(), true, ts) }
 
-func (s *Server) durably(del bool, ts []Triple) error {
+// InsertDurableContext is InsertDurable bounded by ctx: admission control on
+// the enqueue wait (OverloadedError once ctx expires against a full queue)
+// and a bounded durability wait. Cancellation during the durability wait
+// abandons the WAIT, not the write — the mutation is already accepted into
+// the applied sequence and its WAL record may still become durable; the
+// context error tells the caller "durability unconfirmed", not "undone".
+func (s *Server) InsertDurableContext(ctx context.Context, ts ...Triple) error {
+	return s.durably(ctx, false, ts)
+}
+
+// DeleteDurableContext is InsertDurableContext for retractions.
+func (s *Server) DeleteDurableContext(ctx context.Context, ts ...Triple) error {
+	return s.durably(ctx, true, ts)
+}
+
+func (s *Server) durably(ctx context.Context, del bool, ts []Triple) error {
 	ch := make(chan error, 1)
-	if _, err := s.enqueue(del, ts, func(err error) { ch <- err }); err != nil {
+	if _, err := s.enqueue(ctx, del, ts, func(err error) { ch <- err }); err != nil {
 		return err
 	}
 	// The caller is explicitly waiting: kick the writer so the ack is a
 	// queue drain away, not a FlushInterval sleep away.
 	s.nudge()
-	return <-ch
+	if ctx.Done() == nil {
+		return <-ch
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		// Abandons the durability wait only; see InsertDurableContext.
+		return ctx.Err()
+	}
 }
 
 // enqueue validates and queues one mutation call, returning its position in
-// the accepted sequence (1-based; the watermark Sessions pin reads to).
-func (s *Server) enqueue(del bool, ts []Triple, ack func(error)) (uint64, error) {
+// the accepted sequence (1-based; the watermark Sessions pin reads to). A
+// full queue blocks until the writer drains it, the server closes or
+// degrades, or ctx expires — the latter returns an OverloadedError carrying
+// the observed depth (admission control).
+func (s *Server) enqueue(ctx context.Context, del bool, ts []Triple, ack func(error)) (uint64, error) {
 	for _, t := range ts {
 		if err := t.WellFormed(); err != nil {
 			return 0, err
@@ -273,11 +421,32 @@ func (s *Server) enqueue(del bool, ts []Triple, ack func(error)) (uint64, error)
 	}
 	m := mutation{del: del, ts: append([]Triple(nil), ts...), ack: ack}
 	s.mu.Lock()
-	for s.opts.MaxPending > 0 && len(s.queue) >= s.opts.MaxPending && !s.closed {
-		// Backpressure: wake the writer and wait for it to drain. nudge is a
-		// non-blocking send, safe while holding mu.
-		s.nudge()
-		s.cond.Wait()
+	if s.opts.MaxPending > 0 && len(s.queue) >= s.opts.MaxPending && !s.closed && s.durErr == nil {
+		// Backpressure wait. A degraded or closed server exits the loop
+		// instead of waiting: the queue will never drain into the strategy
+		// again, and the caller gets the fail-fast typed error below. Context
+		// expiry must also wake the wait, so the expiry callback broadcasts
+		// under mu (guaranteeing it cannot fire between the loop's check and
+		// the Wait going to sleep).
+		if ctx.Done() != nil {
+			stop := context.AfterFunc(ctx, func() {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			})
+			defer stop()
+		}
+		for s.opts.MaxPending > 0 && len(s.queue) >= s.opts.MaxPending && !s.closed && s.durErr == nil {
+			if err := ctx.Err(); err != nil {
+				depth := len(s.queue)
+				s.mu.Unlock()
+				return 0, &OverloadedError{Pending: depth, Cause: err}
+			}
+			// Wake the writer and wait for it to drain. nudge is a
+			// non-blocking send, safe while holding mu.
+			s.nudge()
+			s.cond.Wait()
+		}
 	}
 	if s.closed {
 		s.mu.Unlock()
@@ -286,7 +455,7 @@ func (s *Server) enqueue(del bool, ts []Triple, ack func(error)) (uint64, error)
 	if s.durErr != nil {
 		err := s.durErr
 		s.mu.Unlock()
-		return 0, err
+		return 0, wrapDegraded(err)
 	}
 	s.queue = append(s.queue, m)
 	s.enqueued++
@@ -304,28 +473,68 @@ func (s *Server) enqueue(del bool, ts []Triple, ack func(error)) (uint64, error)
 	return seq, nil
 }
 
-// waitApplied blocks until the applier has applied the first seq accepted
-// mutation calls. The common case — the watermark is already applied — is a
-// single atomic load (observing applied >= seq happens-after the covering
-// snapshot swap, which the writer performs before advancing the counter),
-// so session reads do not contend on the server mutex. On the slow path the
-// writer is kicked first, so the wait is bounded by the current queue's
-// application, not by the flush timer.
-func (s *Server) waitApplied(seq uint64) {
+// waitApplied blocks until the applier has applied (or, after degradation,
+// refused) the first seq accepted mutation calls. The common case — the
+// watermark is already applied — is a single atomic load (observing
+// applied >= seq happens-after the covering snapshot swap, which the writer
+// performs before advancing the counter), so session reads do not contend on
+// the server mutex. On the slow path the writer is kicked first, so the wait
+// is bounded by the current queue's application, not by the flush timer.
+//
+// It returns a DegradedError when the watermark covers a mutation the
+// degraded server refused to apply: the write will never become visible, so
+// waiting longer cannot help and answering the read would silently violate
+// read-your-writes. Watermarks entirely below the divergence point (and the
+// zero watermark of a session that never wrote) keep reading normally — the
+// degraded server serves its last applied snapshot. With ctx cancellable,
+// expiry ends the wait with the context error.
+func (s *Server) waitApplied(ctx context.Context, seq uint64) error {
+	if err := s.checkDiverged(seq); err != nil {
+		return err
+	}
 	if s.applied.Load() >= seq {
-		return
+		return nil
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer stop()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.applied.Load() >= seq {
-		return
-	}
-	s.nudge()
-	// The writer drains the queue on kicks and on its way out, so applied
-	// reaches seq even when Close races this wait.
+	// The writer drains the queue on kicks and on its way out (advancing
+	// applied past refused mutations too), so this wait terminates even when
+	// Close or a durability failure races it.
 	for s.applied.Load() < seq {
+		if d := s.divergedAt.Load(); d != 0 && seq >= d {
+			return wrapDegraded(s.durErr)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.nudge()
 		s.cond.Wait()
 	}
+	if d := s.divergedAt.Load(); d != 0 && seq >= d {
+		return wrapDegraded(s.durErr)
+	}
+	return nil
+}
+
+// checkDiverged returns the typed degraded error when watermark seq covers a
+// mutation the degraded server refused to apply. Lock-free in the healthy
+// case: divergedAt is only ever written once. Must be called without mu.
+func (s *Server) checkDiverged(seq uint64) error {
+	if d := s.divergedAt.Load(); d != 0 && seq >= d {
+		s.mu.Lock()
+		err := s.durErr
+		s.mu.Unlock()
+		return wrapDegraded(err)
+	}
+	return nil
 }
 
 // Flush blocks until every mutation enqueued before the call has been
@@ -344,7 +553,86 @@ func (s *Server) Flush() error {
 	for s.applied.Load() < target {
 		s.cond.Wait()
 	}
-	return s.durErr
+	return wrapDegraded(s.durErr)
+}
+
+// Health is a point-in-time report of the serving layer's condition, for
+// operator dashboards and load balancers. All fields are observed without
+// stopping the writer; the durability fields are zero without a DB.
+type Health struct {
+	// Degraded reports degraded read-only mode: reads serve the last applied
+	// snapshot, writes fail fast with a DegradedError whose cause is
+	// DegradedCause.
+	Degraded bool
+	// DegradedCause is the durability failure behind the degradation; nil
+	// when healthy.
+	DegradedCause error
+	// Closed reports a server after Close (reads still work).
+	Closed bool
+
+	// Enqueued counts accepted mutation calls; Applied counts those the
+	// writer has applied (or, after degradation, refused). Lag — the
+	// applied-watermark lag — is Enqueued-Applied: how far reads may trail
+	// writes, the queue depth plus the batch in flight.
+	Enqueued, Applied, Lag uint64
+	// Pending is the current queued-but-unapplied depth the MaxPending
+	// admission bound applies to.
+	Pending int
+
+	// WALGeneration is the active WAL generation.
+	WALGeneration uint64
+	// WALBytes is the active WAL's size — the bytes written since the last
+	// completed checkpoint began its generation.
+	WALBytes int64
+	// WALChainBytes is the byte total across every live WAL generation: the
+	// replay debt the next recovery pays, bounded by DBOptions.MaxWALBytes.
+	// It exceeds WALBytes exactly when checkpoints are failing.
+	WALChainBytes int64
+	// WALRecords counts records in the active generation.
+	WALRecords int
+	// LastCheckpoint is when the last durable checkpoint completed (zero if
+	// none this process); CheckpointAge is time since then (0 when zero).
+	LastCheckpoint time.Time
+	CheckpointAge  time.Duration
+	// CheckpointFailures counts failed checkpoint attempts;
+	// CheckpointRetryPending reports a capped-backoff retry is scheduled.
+	CheckpointFailures     int64
+	CheckpointRetryPending bool
+	// GCRemoveFailures counts superseded-generation files whose removal
+	// failed (each is re-attempted on the next GC pass).
+	GCRemoveFailures int64
+}
+
+// Health returns the server's current health report. Safe for any
+// goroutine, cheap enough to poll.
+func (s *Server) Health() Health {
+	var h Health
+	s.mu.Lock()
+	h.Degraded = s.durErr != nil
+	h.DegradedCause = s.durErr
+	h.Closed = s.closed
+	h.Enqueued = s.enqueued
+	h.Pending = len(s.queue)
+	// applied only advances under mu, so reading it here keeps
+	// Lag = Enqueued-Applied from racing into uint64 wraparound.
+	h.Applied = s.applied.Load()
+	s.mu.Unlock()
+	h.Lag = h.Enqueued - h.Applied
+	if s.opts.DB != nil {
+		st := s.opts.DB.Stats()
+		h.WALGeneration = st.Generation
+		h.WALBytes = st.WALSize
+		h.WALChainBytes = st.ChainBytes
+		h.WALRecords = st.WALRecords
+		h.LastCheckpoint = st.LastCheckpoint
+		if !st.LastCheckpoint.IsZero() {
+			h.CheckpointAge = time.Since(st.LastCheckpoint)
+		}
+		h.CheckpointFailures = st.CheckpointFailures
+		h.CheckpointRetryPending = st.CheckpointRetryPending
+		h.GCRemoveFailures = st.GCRemoveFailures
+	}
+	return h
 }
 
 // Close flushes pending mutations, stops the background writer and marks
@@ -368,10 +656,13 @@ func (s *Server) Close() error {
 	durErr := s.durErr
 	s.mu.Unlock()
 	if durErr != nil {
-		return durErr
+		return wrapDegraded(durErr)
 	}
 	if s.durable != nil && !s.opts.NoFinalCheckpoint && s.opts.DB.Dirty() {
-		return s.opts.DB.Checkpoint(s.durable.DurableState())
+		// Wrapped like every other durability failure: callers see one typed
+		// taxonomy (the WAL already holds the un-checkpointed history, so a
+		// failed final snapshot degrades the shutdown, it does not lose data).
+		return wrapDegraded(s.opts.DB.Checkpoint(s.durable.DurableState()))
 	}
 	return nil
 }
@@ -440,17 +731,24 @@ func (ss *Session) note(seq uint64) {
 
 // Insert enqueues the assertion like Server.Insert and advances the session
 // watermark, making the write visible to this session's subsequent reads.
-func (ss *Session) Insert(ts ...Triple) error {
-	seq, err := ss.s.enqueue(false, ts, nil)
+func (ss *Session) Insert(ts ...Triple) error { return ss.InsertContext(context.Background(), ts...) }
+
+// Delete enqueues the retraction and advances the session watermark.
+func (ss *Session) Delete(ts ...Triple) error { return ss.DeleteContext(context.Background(), ts...) }
+
+// InsertContext is Insert with deadline-aware admission control (see
+// Server.InsertContext).
+func (ss *Session) InsertContext(ctx context.Context, ts ...Triple) error {
+	seq, err := ss.s.enqueue(ctx, false, ts, nil)
 	if err == nil {
 		ss.note(seq)
 	}
 	return err
 }
 
-// Delete enqueues the retraction and advances the session watermark.
-func (ss *Session) Delete(ts ...Triple) error {
-	seq, err := ss.s.enqueue(true, ts, nil)
+// DeleteContext is Delete with deadline-aware admission control.
+func (ss *Session) DeleteContext(ctx context.Context, ts ...Triple) error {
+	seq, err := ss.s.enqueue(ctx, true, ts, nil)
 	if err == nil {
 		ss.note(seq)
 	}
@@ -460,44 +758,88 @@ func (ss *Session) Delete(ts ...Triple) error {
 // InsertDurable is Server.InsertDurable with session watermark tracking: it
 // returns once the write is durably logged (and the session's later reads
 // will observe it).
-func (ss *Session) InsertDurable(ts ...Triple) error { return ss.durably(false, ts) }
+func (ss *Session) InsertDurable(ts ...Triple) error {
+	return ss.durably(context.Background(), false, ts)
+}
 
 // DeleteDurable is InsertDurable for retractions.
-func (ss *Session) DeleteDurable(ts ...Triple) error { return ss.durably(true, ts) }
+func (ss *Session) DeleteDurable(ts ...Triple) error {
+	return ss.durably(context.Background(), true, ts)
+}
 
-func (ss *Session) durably(del bool, ts []Triple) error {
+// InsertDurableContext is InsertDurable bounded by ctx; cancellation during
+// the durability wait abandons the wait, not the write (see
+// Server.InsertDurableContext).
+func (ss *Session) InsertDurableContext(ctx context.Context, ts ...Triple) error {
+	return ss.durably(ctx, false, ts)
+}
+
+// DeleteDurableContext is InsertDurableContext for retractions.
+func (ss *Session) DeleteDurableContext(ctx context.Context, ts ...Triple) error {
+	return ss.durably(ctx, true, ts)
+}
+
+func (ss *Session) durably(ctx context.Context, del bool, ts []Triple) error {
 	ch := make(chan error, 1)
-	seq, err := ss.s.enqueue(del, ts, func(err error) { ch <- err })
+	seq, err := ss.s.enqueue(ctx, del, ts, func(err error) { ch <- err })
 	if err != nil {
 		return err
 	}
 	// The watermark advances before the durability wait: even if the ack
 	// reports a failure the mutation was accepted into the applied sequence
-	// (applied always advances past it), so reads stay well-defined.
+	// (applied always advances past it, and a refused mutation turns the
+	// session's later reads into typed DegradedErrors), so reads stay
+	// well-defined.
 	ss.note(seq)
 	ss.s.nudge()
-	return <-ch
+	if ctx.Done() == nil {
+		return <-ch
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Query answers q against a snapshot whose applied prefix covers every
 // earlier write of this session (read-your-writes); see the Session doc.
+// After a durability failure it returns a DegradedError when — and only
+// when — the session's watermark covers a write the degraded server refused
+// to apply: answering then would silently drop the session's own accepted
+// write, while sessions below the divergence keep reading normally.
 func (ss *Session) Query(q *Query) (*engine.Result, error) {
-	ss.s.waitApplied(ss.mark.Load())
+	return ss.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with the read-your-writes wait bounded by ctx.
+func (ss *Session) QueryContext(ctx context.Context, q *Query) (*engine.Result, error) {
+	if err := ss.s.waitApplied(ctx, ss.mark.Load()); err != nil {
+		return nil, err
+	}
 	return ss.s.strat.Answer(q)
 }
 
 // Ask reports whether q has any answer, observing the session's own writes.
-func (ss *Session) Ask(q *Query) (bool, error) {
-	ss.s.waitApplied(ss.mark.Load())
+func (ss *Session) Ask(q *Query) (bool, error) { return ss.AskContext(context.Background(), q) }
+
+// AskContext is Ask with the read-your-writes wait bounded by ctx.
+func (ss *Session) AskContext(ctx context.Context, q *Query) (bool, error) {
+	if err := ss.s.waitApplied(ctx, ss.mark.Load()); err != nil {
+		return false, err
+	}
 	return ss.s.strat.Ask(q)
 }
 
 // writer is the single mutation applier: it owns all strategy mutation
 // calls, so the strategy sees strictly serialized writes. It sleeps on the
-// kick channel and the (enqueue-armed) flush timer — no periodic polling.
+// kick channel, the (enqueue-armed) flush timer and the checkpoint-retry
+// timer — no periodic polling while healthy and idle.
 func (s *Server) writer() {
 	defer s.wg.Done()
 	defer s.flushTimer.Stop()
+	defer s.ckptTimer.Stop()
 	for {
 		select {
 		case <-s.done:
@@ -505,8 +847,31 @@ func (s *Server) writer() {
 			return
 		case <-s.kick:
 		case <-s.flushTimer.C:
+		case <-s.ckptTimer.C:
 		}
 		s.apply()
+		s.maybeCheckpoint()
+	}
+}
+
+// maybeCheckpoint runs the checkpoint policy outside batch application: it
+// fires a due checkpoint (including a backoff retry that became due while
+// the server sat idle) and keeps the retry timer armed while a failure is
+// pending, so retries don't depend on new mutations arriving. A rotation
+// failure here degrades the server exactly like one at a run boundary.
+func (s *Server) maybeCheckpoint() {
+	if s.durable == nil {
+		return
+	}
+	if s.opts.DB.CheckpointDue() {
+		if err := s.opts.DB.CheckpointAsync(s.durable.DurableState()); err != nil {
+			s.asyncDurErr(err)
+		}
+	}
+	if d, ok := s.opts.DB.CheckpointRetryAfter(); ok {
+		// Floor the re-arm so a just-due retry blocked by an in-flight
+		// attempt re-checks soon without spinning.
+		s.ckptTimer.Reset(max(d, time.Millisecond))
 	}
 }
 
@@ -533,9 +898,18 @@ func (s *Server) apply() {
 	if len(batch) == 0 {
 		return
 	}
+	// firstRefused is the batch index of the first mutation call this round
+	// refused to apply (durability failure), -1 if none: it pins divergedAt,
+	// the seq where session read-your-writes guarantees stop being served.
+	firstRefused := -1
+	refused := func(runStart int) {
+		if firstRefused < 0 || runStart < firstRefused {
+			firstRefused = runStart
+		}
+	}
 	var run []Triple
 	var runAcks []func(error)
-	flushRun := func(del bool) {
+	flushRun := func(del bool, runStart int) {
 		acks := runAcks
 		runAcks = nil // acks escape into the durability callback; fresh slice per run
 		if len(run) == 0 {
@@ -553,7 +927,8 @@ func (s *Server) apply() {
 			s.mu.Unlock()
 		}
 		if durErr != nil {
-			fireAcks(acks, durErr)
+			refused(runStart)
+			fireAcks(acks, wrapDegraded(durErr))
 			run = run[:0]
 			return
 		}
@@ -574,12 +949,13 @@ func (s *Server) apply() {
 			if len(acks) > 0 {
 				ack = func(err error) {
 					s.asyncDurErr(err)
-					fireAcks(acks, err)
+					fireAcks(acks, wrapDegraded(err))
 				}
 			}
 			if err := s.opts.DB.AppendAck(del, run, ack); err != nil {
 				durErr = err
-				fireAcks(acks, err)
+				refused(runStart)
+				fireAcks(acks, wrapDegraded(err))
 				run = run[:0]
 				return
 			}
@@ -610,18 +986,25 @@ func (s *Server) apply() {
 		}
 	}
 	cur := batch[0].del
-	for _, m := range batch {
+	runStart := 0
+	for i, m := range batch {
 		if m.del != cur {
-			flushRun(cur)
+			flushRun(cur, runStart)
 			cur = m.del
+			runStart = i
 		}
 		run = append(run, m.ts...)
 		if m.ack != nil {
 			runAcks = append(runAcks, m.ack)
 		}
 	}
-	flushRun(cur)
+	flushRun(cur, runStart)
 	s.mu.Lock()
+	if firstRefused >= 0 && s.divergedAt.Load() == 0 {
+		// Seq of batch[i] is applied-before-this-batch + i + 1; applied has
+		// not advanced yet, and only this goroutine advances it.
+		s.divergedAt.Store(s.applied.Load() + uint64(firstRefused) + 1)
+	}
 	s.applied.Add(uint64(len(batch)))
 	if durErr != nil && s.durErr == nil {
 		s.durErr = durErr

@@ -176,9 +176,23 @@ type (
 	DBOptions = persist.Options
 	// DBState is the state recovered from a snapshot (DB.State).
 	DBState = persist.LoadedState
+	// DBStats is the DB's point-in-time health counters (DB.Stats);
+	// Server.Health folds them into the serving-layer report.
+	DBStats = persist.Stats
 	// DurableStrategy is a Strategy whose state the persistence layer can
 	// checkpoint; all three built-in strategies implement it.
 	DurableStrategy = core.DurableStrategy
+)
+
+// Durability error sentinels, for errors.Is. ErrDBLocked means another
+// process holds the data directory's LOCK file — the error's own message
+// names the directory and the remediation. ErrWALBound means the live WAL
+// chain outgrew DBOptions.MaxWALBytes because checkpoints kept failing; a
+// Server hitting it degrades to read-only (see ErrDegraded and the Server
+// degraded-mode doc).
+var (
+	ErrDBLocked = persist.ErrLocked
+	ErrWALBound = persist.ErrWALBound
 )
 
 // WAL fsync policies. SyncAlways fsyncs per record; SyncGroup stages
