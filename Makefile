@@ -28,14 +28,25 @@
 #                         SyncAlways/SyncGroup/SyncNever at 1/4/16 producers
 #                         plus acked-write (Session.InsertDurable) latency
 #                         -> BENCH_persist.json (BENCHTIME=1x in CI)
+#   make test-replica-chaos
+#                         seeded replication chaos under the race detector:
+#                         REPLICA_CHAOS_SEEDS (default 24) rounds of
+#                         concurrent durable writes with follower
+#                         kill/restart and a final failover promotion
+#                         (reproduce one round with
+#                         go test -run TestReplicaChaos -replica.chaos.seed=N .)
+#   make bench-replica    replication cost model: follower bootstrap time,
+#                         steady-state per-record lag, promotion downtime
+#                         -> BENCH_replica.json (BENCHTIME=1x in CI)
 
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 FUZZTIME ?= 30s
 BENCHTIME ?= 1s
 CHAOS_SEEDS ?= 200
+REPLICA_CHAOS_SEEDS ?= 24
 
-.PHONY: test test-race test-chaos vet fuzz bench bench-query bench-concurrent bench-persist bench-group
+.PHONY: test test-race test-chaos test-replica-chaos vet fuzz bench bench-query bench-concurrent bench-persist bench-group bench-replica
 
 test:
 	$(GO) build ./...
@@ -45,7 +56,10 @@ test-race:
 	$(GO) test -race ./...
 
 test-chaos:
-	$(GO) test -race -run TestChaos -chaos.seeds=$(CHAOS_SEEDS) .
+	$(GO) test -race -run 'TestChaos$$' -chaos.seeds=$(CHAOS_SEEDS) .
+
+test-replica-chaos:
+	$(GO) test -race -run TestReplicaChaos -replica.chaos.seeds=$(REPLICA_CHAOS_SEEDS) .
 
 vet:
 	$(GO) vet ./...
@@ -83,3 +97,7 @@ bench-group:
 	$(GO) test -run '^$$' -bench 'BenchmarkServerGroupCommit|BenchmarkServerDurableAck' \
 		-benchtime $(BENCHTIME) -benchmem . | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-group" -out BENCH_persist.json
+
+bench-replica:
+	$(GO) test -run '^$$' -bench 'BenchmarkReplica' -benchtime $(BENCHTIME) -benchmem ./internal/replica/ | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-replica" -out BENCH_replica.json

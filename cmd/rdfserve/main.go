@@ -19,12 +19,23 @@
 // every concurrent writer shares one group fsync per burst) and periodically
 // verifies that a session read observes the write it was just acknowledged.
 //
+// With -follow the process is a hot-standby replica instead: it mirrors the
+// named primary data directory into -data (checkpoint bootstrap plus a live
+// WAL tail), serves the workload query read-only at bounded staleness, and
+// reports replication lag. Adding -promote turns the end of the run into a
+// failover drill: the follower is promoted to primary, the old primary's
+// directory is fenced (a revived primary refuses to start), and the new
+// primary proves it accepts writes before shutting down as the owner of
+// -data.
+//
 // Usage:
 //
 //	rdfserve -strategy saturation -readers 4 -writers 1 -duration 5s
 //	rdfserve -readers 16 -query Q5 -flush-every 128 -flush-interval 1ms
 //	rdfserve -data /var/lib/rdfserve -sync always -duration 1h
 //	rdfserve -data /var/lib/rdfserve -sync group -session -writers 16
+//	rdfserve -data /var/lib/replica -follow /var/lib/rdfserve -readers 8
+//	rdfserve -data /var/lib/replica -follow /var/lib/rdfserve -promote
 //	rdfserve -bench | go run ./cmd/benchjson -out BENCH_concurrent.json
 //
 // With -bench the report is emitted as `go test -bench`-style lines, so it
@@ -65,34 +76,48 @@ func main() {
 	sessionMode := flag.Bool("session", false, "writers use read-your-writes sessions with acknowledged durable writes")
 	ckptBytes := flag.Int64("checkpoint-bytes", 0, "checkpoint when the WAL passes this size (0 = default, negative disables)")
 	ckptRecords := flag.Int("checkpoint-records", 0, "checkpoint after this many WAL records (0 = default, negative disables)")
+	follow := flag.String("follow", "", "run as a read-only follower of this primary data directory (-data is the local mirror)")
+	promote := flag.Bool("promote", false, "with -follow: promote to primary when the run ends (failover drill)")
 	flag.Parse()
 	if *batch < 1 {
 		fatalf("-batch must be at least 1")
+	}
+
+	dbOpts := webreason.DBOptions{
+		CheckpointBytes:   *ckptBytes,
+		CheckpointRecords: *ckptRecords,
+	}
+	dbOpts.GroupDelay = *groupDelay
+	switch *syncMode {
+	case "always":
+		dbOpts.Sync = webreason.SyncAlways
+	case "group":
+		dbOpts.Sync = webreason.SyncGroup
+	case "never":
+		dbOpts.Sync = webreason.SyncNever
+	default:
+		fatalf("unknown -sync %q (want always, group or never)", *syncMode)
+	}
+
+	if *follow != "" {
+		serveFollower(*follow, *dataDir, dbOpts, *strategy, *queryName, *readers, *duration, *promote)
+		return
+	}
+	if *promote {
+		fatalf("-promote requires -follow")
 	}
 
 	var db *webreason.DB
 	var strat webreason.Strategy
 	switch {
 	case *dataDir != "":
-		dbOpts := webreason.DBOptions{
-			CheckpointBytes:   *ckptBytes,
-			CheckpointRecords: *ckptRecords,
-		}
-		dbOpts.GroupDelay = *groupDelay
-		switch *syncMode {
-		case "always":
-			dbOpts.Sync = webreason.SyncAlways
-		case "group":
-			dbOpts.Sync = webreason.SyncGroup
-		case "never":
-			dbOpts.Sync = webreason.SyncNever
-		default:
-			fatalf("unknown -sync %q (want always, group or never)", *syncMode)
-		}
 		var err error
 		if db, err = webreason.OpenDB(*dataDir, dbOpts); err != nil {
 			if errors.Is(err, webreason.ErrDBLocked) {
 				fatalf("data directory %s is locked: another rdfserve or rdfload is running against it; stop that process or pass a different -data directory", *dataDir)
+			}
+			if errors.Is(err, webreason.ErrDBFenced) {
+				fatalf("data directory %s was fenced by a promoted follower: this node is no longer the primary (%v)", *dataDir, err)
 			}
 			fatalf("opening %s: %v", *dataDir, err)
 		}
@@ -293,6 +318,121 @@ func main() {
 			*writers, sessionChecks.Load())
 	}
 	fmt.Printf("  store:     %d triples (%s)\n", srv.Len(), strat.Name())
+}
+
+// serveFollower runs -follow mode: mirror the primary data directory at src
+// into dataDir, replay its history through the chosen strategy, and serve
+// the workload query read-only for the run's duration while reporting
+// replication lag. With -promote the run ends in a failover drill: the
+// follower is promoted to primary (fencing src), proves it accepts writes,
+// and shuts down cleanly as the new owner of dataDir.
+func serveFollower(src, dataDir string, dbOpts webreason.DBOptions, strategy, queryName string, readers int, duration time.Duration, promote bool) {
+	if dataDir == "" {
+		fatalf("-follow requires -data (the follower's local mirror directory)")
+	}
+	var q *webreason.Query
+	for _, wq := range lubm.Queries() {
+		if wq.Name == queryName {
+			q = wq.Parse()
+		}
+	}
+	if q == nil {
+		fatalf("unknown workload query %q", queryName)
+	}
+
+	t0 := time.Now()
+	f, err := webreason.StartFollower(webreason.FollowerConfig{
+		Dir:      dataDir,
+		Source:   webreason.NewFSFeeder(src),
+		Strategy: strategy,
+	})
+	if err != nil {
+		fatalf("starting follower of %s: %v", src, err)
+	}
+	srv := webreason.NewFollowerServer(f, webreason.ServerOptions{})
+	h := srv.Health()
+	fmt.Printf("following %s into %s: %d triples, applied %s, lag %d bytes (bootstrap %s)\n",
+		src, dataDir, srv.Len(), h.ReplicaApplied, h.ReplicaLagBytes, time.Since(t0).Round(time.Millisecond))
+
+	pq, err := srv.Prepare(q)
+	if err != nil {
+		fatalf("preparing %s: %v", queryName, err)
+	}
+	var queries atomic.Int64
+	var readNanos atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := pq.Answer(); err != nil {
+					fatalf("reader: %v", err)
+				}
+				readNanos.Add(time.Since(t0).Nanoseconds())
+				queries.Add(1)
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	start := time.Now()
+	select {
+	case <-time.After(duration):
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "rdfserve: received %s, shutting down gracefully\n", sig)
+	}
+	signal.Stop(sigs)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	h = srv.Health()
+	nq := queries.Load()
+	nsPerQuery := float64(0)
+	if nq > 0 {
+		nsPerQuery = float64(readNanos.Load()) / float64(nq)
+	}
+	fmt.Printf("role=%s applied=%s lag=%d bytes (~%d records) epoch=%d\n",
+		h.Role, h.ReplicaApplied, h.ReplicaLagBytes, h.ReplicaLagRecords, h.ReplicaEpoch)
+	fmt.Printf("  queries: %d (%.0f/sec, mean latency %s) over %s against %d triples\n",
+		nq, float64(nq)/elapsed.Seconds(), time.Duration(int64(nsPerQuery)), elapsed.Round(time.Millisecond), srv.Len())
+	if h.Degraded {
+		fmt.Fprintf(os.Stderr, "rdfserve: follower degraded: %v\n", h.DegradedCause)
+	}
+
+	if promote {
+		t0 := time.Now()
+		if err := srv.Promote(webreason.PromotionOptions{DB: dbOpts, CatchUp: true}); err != nil {
+			fatalf("promoting: %v", err)
+		}
+		h = srv.Health()
+		fmt.Printf("promoted to %s in %s: term %d, position %s; %s is fenced\n",
+			h.Role, time.Since(t0).Round(time.Millisecond), h.Position.Term, h.Position, src)
+		// Prove the new primary accepts and applies writes before declaring
+		// the failover done.
+		probe := webreason.T(
+			webreason.NewIRI("http://load.example.org/promoted"),
+			webreason.NewIRI("http://load.example.org/p"),
+			webreason.NewIRI(fmt.Sprintf("http://load.example.org/term-%d", h.Position.Term)))
+		if err := srv.Insert(probe); err != nil {
+			fatalf("write on promoted primary: %v", err)
+		}
+		if err := srv.Flush(); err != nil {
+			fatalf("flush on promoted primary: %v", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
 }
 
 // buildFromGenerator loads the LUBM-style workload into a fresh KB and

@@ -34,7 +34,7 @@ const (
 	OpOpen        // OpenFile and Open (read-only handles)
 	OpWrite       // File.Write
 	OpSync        // File.Sync (files and directory handles)
-	OpRead        // ReadFile
+	OpRead        // ReadFile and ReadFileFrom (replication stream reads)
 	OpReadDir     // ReadDir
 	OpRename      // Rename
 	OpRemove      // Remove
@@ -361,6 +361,20 @@ func (f *FS) ReadFile(name string) ([]byte, error) {
 		return nil, fault
 	}
 	return f.inner.ReadFile(name)
+}
+
+// ReadFileFrom shares ReadFile's OpRead class, so a schedule scripted before
+// replication existed — a latency rule slowing reads, a failing disk —
+// applies to a follower's incremental stream reads without any change.
+func (f *FS) ReadFileFrom(name string, off int64) ([]byte, error) {
+	sleep, fault := f.check(OpRead, name)
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if fault != nil {
+		return nil, fault
+	}
+	return f.inner.ReadFileFrom(name, off)
 }
 
 func (f *FS) ReadDir(dir string) ([]fs.DirEntry, error) {

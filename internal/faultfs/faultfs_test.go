@@ -172,6 +172,15 @@ func TestLatency(t *testing.T) {
 	if took := time.Since(start); took < d {
 		t.Fatalf("ReadFile took %v, want ≥ %v of injected latency", took, d)
 	}
+	// Replication stream reads share the OpRead class: a schedule scripted
+	// before ReadFileFrom existed slows it down too, with no schedule change.
+	start = time.Now()
+	if _, err := fsys.ReadFileFrom(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < d {
+		t.Fatalf("ReadFileFrom took %v, want ≥ %v of injected latency", took, d)
+	}
 }
 
 func TestClearRepairsDisk(t *testing.T) {

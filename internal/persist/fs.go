@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"io"
 	"io/fs"
 	"os"
 )
@@ -25,6 +26,12 @@ type FS interface {
 	Open(name string) (File, error)
 	// ReadFile returns the contents of name (snapshot and WAL recovery).
 	ReadFile(name string) ([]byte, error)
+	// ReadFileFrom returns the contents of name from byte offset off to the
+	// current end of file — the incremental read a replication follower uses
+	// to tail a live WAL. An offset at or past the end returns an empty
+	// slice, not an error; reading a file that shrank below off (which the
+	// append-only WAL protocol never does) may do either.
+	ReadFileFrom(name string, off int64) ([]byte, error)
 	// ReadDir lists dir (generation scan).
 	ReadDir(dir string) ([]fs.DirEntry, error)
 	// Rename atomically moves oldpath to newpath (snapshot publish).
@@ -67,7 +74,32 @@ func (osFS) Open(name string) (File, error) {
 	return f, nil
 }
 
-func (osFS) ReadFile(name string) ([]byte, error)      { return os.ReadFile(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadFileFrom(name string, off int64) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if off >= size {
+		return nil, nil
+	}
+	buf := make([]byte, size-off)
+	n, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	// A racing append may have grown the file past the Stat; the next poll
+	// picks the growth up. A short read against a shrinking file (foreign to
+	// the WAL protocol) just returns the shorter prefix.
+	return buf[:n], nil
+}
 func (osFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
 func (osFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error                  { return os.Remove(name) }

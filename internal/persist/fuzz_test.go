@@ -17,7 +17,7 @@ import (
 func FuzzSnapshotDecode(f *testing.F) {
 	seed := func(st State) {
 		dir := f.TempDir()
-		if err := writeSnapshotFile(OS, dir, 3, st); err != nil {
+		if err := writeSnapshotFile(OS, dir, 3, 1, st); err != nil {
 			f.Fatal(err)
 		}
 		b, err := os.ReadFile(snapshotPath(dir, 3))
@@ -46,7 +46,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 			st.Saturated = ls.Saturated
 		}
 		dir := t.TempDir()
-		if err := writeSnapshotFile(OS, dir, ls.Generation, st); err != nil {
+		if err := writeSnapshotFile(OS, dir, ls.Generation, ls.Term, st); err != nil {
 			t.Fatalf("re-encoding accepted snapshot: %v", err)
 		}
 		ls2, err := readSnapshotFile(OS, snapshotPath(dir, ls.Generation))
@@ -81,7 +81,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 // panic, and every record in the accepted prefix must re-encode to the exact
 // bytes it was decoded from.
 func FuzzWALDecode(f *testing.F) {
-	valid := encodeWALHeader(1)
+	valid := encodeWALHeader(1, 1)
 	valid = appendWALRecord(valid, false, []rdf.Triple{
 		rdf.T(rdf.NewIRI("http://f/s"), rdf.NewIRI("http://f/p"), rdf.NewLiteral("o")),
 	})
@@ -96,7 +96,7 @@ func FuzzWALDecode(f *testing.F) {
 	// minimum admits (the exact claim the pre-fix bound let through).
 	f.Add(walBoundaryCountImage(), uint64(1))
 	f.Fuzz(func(t *testing.T, data []byte, gen uint64) {
-		recs, validLen, err := decodeWAL(data, gen)
+		recs, term, validLen, err := decodeWAL(data, gen)
 		if err != nil {
 			return
 		}
@@ -105,12 +105,12 @@ func FuzzWALDecode(f *testing.F) {
 		}
 		// Re-encode the accepted records and decode again; the content must
 		// survive exactly (byte images may differ for non-minimal uvarints).
-		out := encodeWALHeader(gen)
+		out := encodeWALHeader(gen, term)
 		for _, m := range recs {
 			out = appendWALRecord(out, m.Del, m.Triples)
 		}
-		recs2, validLen2, err := decodeWAL(out, gen)
-		if err != nil || validLen2 != int64(len(out)) || len(recs2) != len(recs) {
+		recs2, term2, validLen2, err := decodeWAL(out, gen)
+		if err != nil || term2 != term || validLen2 != int64(len(out)) || len(recs2) != len(recs) {
 			t.Fatalf("round trip: err=%v len=%d/%d recs=%d/%d", err, validLen2, len(out), len(recs2), len(recs))
 		}
 		for i := range recs {

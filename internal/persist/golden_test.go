@@ -41,13 +41,13 @@ func goldenState() State {
 }
 
 // TestGoldenSnapshot pins the exact bytes of the snapshot format: encoding
-// the fixed state must reproduce testdata/golden_v1.snap, and decoding the
+// the fixed state must reproduce testdata/golden_v2.snap, and decoding the
 // pinned file must yield the same content. Any intentional codec or layout
 // change breaks this test and must bump FormatVersion (and add a new golden
 // file) so old files are refused rather than misread.
 func TestGoldenSnapshot(t *testing.T) {
 	dir := t.TempDir()
-	if err := writeSnapshotFile(OS, dir, 2, goldenState()); err != nil {
+	if err := writeSnapshotFile(OS, dir, 2, 3, goldenState()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(snapshotPath(dir, 2))
@@ -55,7 +55,7 @@ func TestGoldenSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	golden := filepath.Join("testdata", "golden_v1.snap")
+	golden := filepath.Join("testdata", "golden_v2.snap")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -77,10 +77,10 @@ func TestGoldenSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decoding golden file: %v", err)
 	}
-	if ls.Generation != 2 || ls.BaseSet == nil || ls.BaseSet.Len() != 2 ||
+	if ls.Generation != 2 || ls.Term != 3 || ls.BaseSet == nil || ls.BaseSet.Len() != 2 ||
 		ls.Saturated == nil || ls.Saturated.Len() != 42 || ls.Dict.Len() != 45 {
-		t.Fatalf("golden decode: gen=%d base=%v sat=%v dict=%d",
-			ls.Generation, ls.BaseSet, ls.Saturated, ls.Dict.Len())
+		t.Fatalf("golden decode: gen=%d term=%d base=%v sat=%v dict=%d",
+			ls.Generation, ls.Term, ls.BaseSet, ls.Saturated, ls.Dict.Len())
 	}
 	if _, ok := ls.Dict.Lookup(rdf.NewLangLiteral("bonjour", "fr")); !ok {
 		t.Fatal("golden dictionary lost the language-tagged literal")

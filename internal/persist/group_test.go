@@ -353,7 +353,7 @@ func TestDecodeWALPayloadCountBound(t *testing.T) {
 // more triple than its length admits is mid-log corruption, not a torn tail.
 func TestDecodeWALBoundarySeedImage(t *testing.T) {
 	img := walBoundaryCountImage()
-	_, _, err := decodeWAL(img, 1)
+	_, _, _, err := decodeWAL(img, 1)
 	if err == nil || !strings.Contains(err.Error(), "exceeds record") {
 		t.Fatalf("boundary image: got %v, want the count bound to reject it", err)
 	}
@@ -365,7 +365,7 @@ func walBoundaryCountImage() []byte {
 	payload := []byte{opInsert}
 	payload = binary.AppendUvarint(payload, 3)
 	payload = append(payload, make([]byte, 12)...)
-	img := encodeWALHeader(1)
+	img := encodeWALHeader(1, 0)
 	img = binary.LittleEndian.AppendUint32(img, uint32(len(payload)))
 	img = binary.LittleEndian.AppendUint32(img, crc32.Checksum(payload, crcTable))
 	return append(img, payload...)

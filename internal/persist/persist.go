@@ -79,7 +79,10 @@ type Options struct {
 	// up to one GroupDelay window into a single fsync. Zero means
 	// DefaultGroupDelay; negative syncs as soon as the syncer is free (the
 	// in-flight fsync itself then provides the batching window). Ignored by
-	// the other policies.
+	// the other policies. The window is adaptive: while the workload is a
+	// lone durable writer (each covering fsync spans at most one record,
+	// so there is nothing to coalesce) the syncer skips the wait entirely,
+	// and the first concurrent burst restores it.
 	GroupDelay time.Duration
 	// CheckpointBytes triggers a checkpoint when the active WAL grows past
 	// this size. Zero means DefaultCheckpointBytes; negative disables the
@@ -105,6 +108,16 @@ type Options struct {
 	// the real filesystem. Tests interpose deterministic faults by passing a
 	// wrapped FS (see internal/faultfs).
 	FS FS
+	// Term is the minimum replication fencing term this process claims over
+	// the directory. Zero adopts whatever term the chain carries (the normal
+	// single-node open). A promoted follower passes the highest term it ever
+	// observed plus one: if the recovered chain's term is lower, Open mints a
+	// fresh generation whose header carries the new term before any write —
+	// durably recording the ownership change — and if the chain's term is
+	// HIGHER, Open refuses with ErrFenced (the caller's claim is stale).
+	// Independently of this field, a TERM fence file outranking the chain's
+	// term always refuses the open with ErrFenced; see WriteFence.
+	Term uint64
 }
 
 // Default checkpoint thresholds. Recovery replays the WAL tail through the
@@ -178,6 +191,7 @@ type DB struct {
 
 	mu         sync.Mutex // guards the fields below (append vs rotate vs close)
 	gen        uint64     // active WAL generation
+	term       uint64     // fencing term; constant once Open returns
 	wal        File
 	walSize    int64
 	walRecords int
@@ -193,11 +207,18 @@ type DB struct {
 	// must not pull the file out from under an in-flight fsync.
 	staged      []func(error) // guarded by mu
 	syncPending bool          // guarded by mu: bytes written since the last covering sync
+	stagedRecs  int           // guarded by mu: records staged since the last covering sync
 	groupErr    error         // guarded by mu: sticky group-fsync failure; refuses further appends
-	syncMu      sync.Mutex
-	syncKick    chan struct{} // capacity 1; nudges the syncer
-	syncDone    chan struct{} // closed to stop the syncer
-	syncWg      sync.WaitGroup
+	// loneWriter adapts the coalescing window: when the previous group fsync
+	// covered at most one record, the workload is a lone durable writer whose
+	// ack latency IS the window — so the syncer skips the wait and fsyncs
+	// immediately. A burst (first flush covering >1 record) restores the
+	// window. Read by the syncer without mu.
+	loneWriter atomic.Bool
+	syncMu     sync.Mutex
+	syncKick   chan struct{} // capacity 1; nudges the syncer
+	syncDone   chan struct{} // closed to stop the syncer
+	syncWg     sync.WaitGroup
 
 	ckptBusy atomic.Bool
 	bg       sync.WaitGroup
@@ -318,6 +339,13 @@ func Open(dir string, opts Options) (*DB, error) {
 
 	// Decode the WAL chain from the recovered generation upward. The chain
 	// must be contiguous; a gap means files were deleted out from under us.
+	// Header terms must never decrease along the chain — ownership only ever
+	// moves forward (promotion bumps the term); a regression means files from
+	// two histories were mixed.
+	chainTerm := uint64(0)
+	if db.loaded != nil {
+		chainTerm = db.loaded.Term
+	}
 	expected := db.gen
 	for _, g := range wals {
 		if g < db.gen {
@@ -343,10 +371,14 @@ func Open(dir string, opts Options) (*DB, error) {
 			break
 		}
 		expected = g + 1
-		recs, validLen, err := decodeWAL(b, g)
+		recs, term, validLen, err := decodeWAL(b, g)
 		if err != nil {
 			return nil, fmt.Errorf("persist: %s: %w", path, err)
 		}
+		if term < chainTerm {
+			return nil, fmt.Errorf("%w: %s carries term %d below the chain's term %d", ErrWALCorrupt, path, term, chainTerm)
+		}
+		chainTerm = term
 		if validLen < int64(len(b)) {
 			if g != wals[len(wals)-1] {
 				return nil, fmt.Errorf("%w: %s has a torn record but is not the newest log", ErrWALCorrupt, path)
@@ -361,6 +393,34 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	if expected > db.gen {
 		db.gen = expected - 1 // newest WAL seen stays the active generation
+	}
+
+	// Fencing. A TERM fence file outranking both the chain and the caller's
+	// claim means a follower was promoted and this chain must never accept
+	// another write; a caller whose claimed term is below the chain's is
+	// itself stale. Checked before any file is created or removed.
+	db.term = chainTerm
+	fence, err := readFence(opts.FS, dir)
+	if err != nil {
+		return nil, err
+	}
+	if claim := max(chainTerm, opts.Term); fence > claim {
+		return nil, &FencedError{Dir: dir, Term: claim, Fence: fence}
+	}
+	if opts.Term != 0 && opts.Term < chainTerm {
+		return nil, &FencedError{Dir: dir, Term: opts.Term, Fence: chainTerm}
+	}
+	if opts.Term > chainTerm {
+		// Promotion: mint the new term before any write. A fresh generation
+		// keeps every WAL file single-term (its header IS the durable term
+		// record); when the active generation's WAL does not exist yet — a
+		// bootstrap directory, or every WAL superseded — that generation
+		// simply starts at the new term.
+		db.term = opts.Term
+		if len(wals) > 0 && wals[len(wals)-1] >= db.gen {
+			db.gen++
+			activeRecords = 0
+		}
 	}
 
 	// Open (or create) the active WAL for appending. The record counter is
@@ -379,6 +439,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	// Remove files superseded by the loaded snapshot.
 	db.removeBelow(db.loadedGen())
 	if opts.Sync == SyncGroup {
+		db.loneWriter.Store(true) // first durable ack should not wait out a window
 		db.syncKick = make(chan struct{}, 1)
 		db.syncDone = make(chan struct{})
 		db.syncWg.Add(1)
@@ -410,7 +471,7 @@ func (db *DB) openActiveWAL() error {
 		return err
 	}
 	if st.Size() == 0 {
-		if _, err := f.Write(encodeWALHeader(db.gen)); err != nil {
+		if _, err := f.Write(encodeWALHeader(db.gen, db.term)); err != nil {
 			f.Close()
 			return err
 		}
@@ -446,23 +507,59 @@ func (db *DB) TailLen() int { return len(db.tail) }
 // ReplayTail feeds the recovered WAL tail, in order, through the given
 // insert/delete callbacks — wire these to the strategy's (or server's)
 // normal Insert/Delete so replayed batches take the ordinary maintenance
-// path. It returns the number of records replayed. The tail is consumed.
+// path. Maximal runs of same-kind records are coalesced into one callback
+// invocation, exactly as the live server coalesces its mutation queue: each
+// per-call copy-on-write index detach and maintenance round is then paid once
+// per run instead of once per record, which is what keeps recovery (and a
+// replication follower's catch-up, which replays through the same path)
+// linear in triples rather than in records. Sound because mutations are
+// set-semantic — within a same-kind run order is irrelevant and duplicates
+// are absorbed, and the insert/delete interleaving is preserved across run
+// boundaries. It returns the number of records replayed. The tail is
+// consumed.
 func (db *DB) ReplayTail(insert, del func(...rdf.Triple) error) (int, error) {
-	n := 0
-	for _, m := range db.tail {
+	return replayMutations(db.tail, insert, del, func() { db.tail = nil })
+}
+
+// replayMutations is ReplayTail's coalescing engine, shared with follower
+// catch-up. done runs after a fully successful replay (consuming the source).
+func replayMutations(recs []Mutation, insert, del func(...rdf.Triple) error, done func()) (int, error) {
+	var scratch []rdf.Triple
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].Del == recs[i].Del {
+			j++
+		}
+		ts := recs[i].Triples
+		if j > i+1 { // coalesce the run; a lone record replays in place
+			scratch = scratch[:0]
+			for k := i; k < j; k++ {
+				scratch = append(scratch, recs[k].Triples...)
+			}
+			ts = scratch
+		}
 		var err error
-		if m.Del {
-			err = del(m.Triples...)
+		if recs[i].Del {
+			err = del(ts...)
 		} else {
-			err = insert(m.Triples...)
+			err = insert(ts...)
 		}
 		if err != nil {
-			return n, fmt.Errorf("persist: replaying record %d: %w", n, err)
+			return i, fmt.Errorf("persist: replaying records %d..%d: %w", i, j-1, err)
 		}
-		n++
+		i = j
 	}
-	db.tail = nil
-	return n, nil
+	if done != nil {
+		done()
+	}
+	return len(recs), nil
+}
+
+// ReplayBatch feeds an arbitrary record sequence through the same coalescing
+// replay path as ReplayTail. A replication follower uses it to apply the
+// records of one streamed chunk as maximal same-kind runs.
+func ReplayBatch(recs []Mutation, insert, del func(...rdf.Triple) error) (int, error) {
+	return replayMutations(recs, insert, del, nil)
 }
 
 // Append durably logs one mutation batch (write-ahead: call it before
@@ -567,6 +664,7 @@ func (db *DB) AppendAck(del bool, ts []rdf.Triple, ack func(error)) error {
 		// GroupDelay bounds every record's durability lag, not just the
 		// acknowledged ones.
 		db.syncPending = true
+		db.stagedRecs++
 		db.mu.Unlock()
 		select {
 		case db.syncKick <- struct{}{}:
@@ -594,7 +692,11 @@ func (db *DB) syncer() {
 			return
 		case <-db.syncKick:
 		}
-		if db.opts.GroupDelay > 0 {
+		// Adaptive window: a lone durable writer (previous flush covered ≤1
+		// record) would pay the whole GroupDelay as pure ack latency with
+		// nothing to coalesce — fsync immediately instead. The moment a burst
+		// arrives, one flush covers several records and the window returns.
+		if db.opts.GroupDelay > 0 && !db.loneWriter.Load() {
 			if window == nil {
 				window = time.NewTimer(db.opts.GroupDelay)
 				defer window.Stop()
@@ -625,10 +727,13 @@ func (db *DB) groupFlush() {
 	db.staged = nil
 	pending := db.syncPending
 	db.syncPending = false
+	covered := db.stagedRecs
+	db.stagedRecs = 0
 	gerr := db.groupErr
 	f := db.wal
 	closed := db.closed
 	db.mu.Unlock()
+	db.loneWriter.Store(covered <= 1)
 	if gerr != nil {
 		// A previous covering fsync failed. Records staged in the window
 		// before the sticky error landed must NOT be acknowledged off a
@@ -814,6 +919,7 @@ func (db *DB) rotate() (uint64, error) {
 	acks := db.staged
 	db.staged = nil
 	db.syncPending = false // the rotation sync covers everything written
+	db.stagedRecs = 0
 	if err := db.groupErr; err != nil {
 		// The WAL may already have a durability hole behind these records
 		// (see groupFlush); refusing the rotation also keeps the checkpoint
@@ -865,7 +971,7 @@ func fireAcks(acks []func(error), err error) {
 // generations it supersedes, and clears any pending retry state — the
 // durable history is checkpointed again, whatever earlier attempts failed.
 func (db *DB) writeCheckpoint(gen uint64, st State) error {
-	if err := writeSnapshotFile(db.fs, db.dir, gen, st); err != nil {
+	if err := writeSnapshotFile(db.fs, db.dir, gen, db.term, st); err != nil {
 		return err
 	}
 	db.removeBelow(gen)
@@ -928,6 +1034,34 @@ func (db *DB) Generation() uint64 {
 	return db.gen
 }
 
+// Term returns the replication fencing term the DB is serving under. It is
+// fixed at Open (the recovered chain's term, or Options.Term when that minted
+// a newer one) and appears in every WAL and snapshot header the DB writes.
+func (db *DB) Term() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.term
+}
+
+// TipPos returns the position just past the last WAL record written — the
+// commit watermark a fleet session carries from the primary to a follower,
+// whose reads then wait until their applied prefix covers it. Monotonic in
+// ChainPos order: rotation moves Gen up, promotion moves Term up.
+func (db *DB) TipPos() ChainPos {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return ChainPos{Term: db.term, Gen: db.gen, Off: db.walSize}
+}
+
+// DropRecovered releases the memory of the recovery products (the loaded
+// snapshot state and the decoded WAL tail) without replaying them. Promotion
+// uses it: the follower's strategy already applied every record it mirrored,
+// so the freshly opened DB's copy of that history is redundant.
+func (db *DB) DropRecovered() {
+	db.loaded = nil
+	db.tail = nil
+}
+
 // Stats is a point-in-time health view of the DB. Server.Health folds it
 // into the serving-layer report; operators alert on ChainBytes (approaching
 // MaxWALBytes means checkpoints are failing), CheckpointFailures and
@@ -935,6 +1069,8 @@ func (db *DB) Generation() uint64 {
 type Stats struct {
 	// Generation is the active WAL generation.
 	Generation uint64
+	// Term is the replication fencing term the DB serves under.
+	Term uint64
 	// WALSize is the active WAL file's size in bytes.
 	WALSize int64
 	// WALRecords counts records in the active generation (including a
@@ -962,6 +1098,7 @@ func (db *DB) Stats() Stats {
 	var st Stats
 	db.mu.Lock()
 	st.Generation = db.gen
+	st.Term = db.term
 	st.WALSize = db.walSize
 	st.WALRecords = db.walRecords
 	st.ChainBytes = db.chainBytes
@@ -992,6 +1129,7 @@ func (db *DB) Close() error {
 	acks := db.staged
 	db.staged = nil
 	db.syncPending = false // the final sync covers everything written
+	db.stagedRecs = 0
 	gerr := db.groupErr
 	serr := db.wal.Sync()
 	err := serr

@@ -21,6 +21,7 @@ import (
 //	magic   "WRSNAP"            6 bytes
 //	version uint16 LE           format version; mismatch is rejected
 //	gen     uint64 LE           generation the snapshot begins
+//	term    uint64 LE           fencing term of the primary that wrote it
 //	flags   uint32 LE           bit 0: saturated section present
 //	section dict                framed (see below)
 //	section base store          framed
@@ -39,7 +40,8 @@ import (
 
 // FormatVersion is the current snapshot and WAL format version. Bump it on
 // any change to the file layouts or the dict/store/term codecs.
-const FormatVersion = 1
+// Version 2 added the fencing term to both headers (replication failover).
+const FormatVersion = 2
 
 const (
 	snapMagic   = "WRSNAP"
@@ -51,7 +53,7 @@ const (
 )
 
 // sectionPad returns the zero-padding after an n-byte section payload that
-// keeps the next section 4-byte aligned in the file (the 20-byte header,
+// keeps the next section 4-byte aligned in the file (the 28-byte header,
 // 8-byte length prefixes and 4-byte CRCs preserve the invariant).
 func sectionPad(n int) int { return (4 - n%4) % 4 }
 
@@ -96,20 +98,25 @@ type LoadedState struct {
 	// Saturated is G∞, nil when the snapshot carries no saturation.
 	Saturated  *store.Store
 	Generation uint64
+	// Term is the fencing term of the primary that wrote the snapshot; a
+	// follower refuses to adopt state from a term below one it has already
+	// seen (see ErrFenced).
+	Term uint64
 }
 
 func snapshotPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", gen))
 }
 
-// writeSnapshotFile serialises st as generation gen into dir, atomically,
-// through the given FS.
-func writeSnapshotFile(fsys FS, dir string, gen uint64, st State) error {
+// writeSnapshotFile serialises st as generation gen under fencing term term
+// into dir, atomically, through the given FS.
+func writeSnapshotFile(fsys FS, dir string, gen, term uint64, st State) error {
 	var body bytes.Buffer
-	header := make([]byte, 0, 20)
+	header := make([]byte, 0, 28)
 	header = append(header, snapMagic...)
 	header = binary.LittleEndian.AppendUint16(header, FormatVersion)
 	header = binary.LittleEndian.AppendUint64(header, gen)
+	header = binary.LittleEndian.AppendUint64(header, term)
 	if (st.Base == nil) == (st.BaseSet == nil) {
 		return fmt.Errorf("persist: snapshot state needs exactly one of Base and BaseSet")
 	}
@@ -197,12 +204,13 @@ func decodeSnapshot(b []byte) (*LoadedState, error) {
 		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersionMismatch, version, FormatVersion)
 	}
 	b = b[2:]
-	if len(b) < 12 {
+	if len(b) < 20 {
 		return nil, fmt.Errorf("%w: truncated header", ErrSnapshotCorrupt)
 	}
 	gen := binary.LittleEndian.Uint64(b)
-	flags := binary.LittleEndian.Uint32(b[8:])
-	b = b[12:]
+	term := binary.LittleEndian.Uint64(b[8:])
+	flags := binary.LittleEndian.Uint32(b[16:])
+	b = b[20:]
 	if flags&^uint32(flagHasGInf|flagBaseSet) != 0 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", ErrSnapshotCorrupt, flags)
 	}
@@ -243,7 +251,7 @@ func decodeSnapshot(b []byte) (*LoadedState, error) {
 	if err != nil {
 		return nil, err
 	}
-	ls := &LoadedState{Dict: d, Generation: gen}
+	ls := &LoadedState{Dict: d, Generation: gen, Term: term}
 	if flags&flagBaseSet != 0 {
 		if ls.BaseSet, err = store.ReadSetBinary(basePayload, maxID); err != nil {
 			return nil, fmt.Errorf("%w: base set: %v", ErrSnapshotCorrupt, err)

@@ -18,6 +18,7 @@ import (
 //	magic   "WRWAL"     5 bytes
 //	version uint16 LE
 //	gen     uint64 LE
+//	term    uint64 LE   fencing term of the primary that owns the generation
 //	records…
 //
 // One record per applied mutation run, length-prefixed and CRC-checked:
@@ -40,7 +41,7 @@ import (
 
 const (
 	walMagic     = "WRWAL"
-	walHeaderLen = len(walMagic) + 2 + 8
+	walHeaderLen = len(walMagic) + 2 + 8 + 8
 	walRecHdrLen = 8
 	maxWALRecord = 1 << 28 // sanity bound on one record's length claim
 	opInsert     = 0
@@ -68,13 +69,40 @@ func walPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("wal-%016x.wal", gen))
 }
 
-// encodeWALHeader builds a WAL file header for generation gen.
-func encodeWALHeader(gen uint64) []byte {
+// encodeWALHeader builds a WAL file header for generation gen owned by the
+// primary whose fencing term is term.
+func encodeWALHeader(gen, term uint64) []byte {
 	b := make([]byte, 0, walHeaderLen)
 	b = append(b, walMagic...)
 	b = binary.LittleEndian.AppendUint16(b, FormatVersion)
 	b = binary.LittleEndian.AppendUint64(b, gen)
+	b = binary.LittleEndian.AppendUint64(b, term)
 	return b
+}
+
+// WALHeaderLen is the byte length of a WAL file header — the offset of the
+// first record. Replication streams a WAL verbatim, so the follower needs the
+// boundary to know where a fresh generation's records begin.
+const WALHeaderLen = walHeaderLen
+
+// ParseWALHeader decodes the generation and fencing term from the first
+// WALHeaderLen bytes of a WAL file. It rejects short buffers, a bad magic and
+// a foreign format version; it is the validation a replication follower runs
+// on the header bytes it is about to adopt verbatim.
+func ParseWALHeader(b []byte) (gen, term uint64, err error) {
+	if len(b) < walHeaderLen {
+		return 0, 0, fmt.Errorf("%w: truncated header", ErrWALCorrupt)
+	}
+	if string(b[:len(walMagic)]) != walMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic", ErrWALCorrupt)
+	}
+	version := binary.LittleEndian.Uint16(b[len(walMagic):])
+	if version != FormatVersion {
+		return 0, 0, fmt.Errorf("%w: WAL version %d, this build reads %d", ErrVersionMismatch, version, FormatVersion)
+	}
+	gen = binary.LittleEndian.Uint64(b[len(walMagic)+2:])
+	term = binary.LittleEndian.Uint64(b[len(walMagic)+10:])
+	return gen, term, nil
 }
 
 // errRecordTooLarge is returned by Append for a batch whose encoding
@@ -142,28 +170,18 @@ func decodeWALPayload(b []byte) (Mutation, error) {
 	return m, nil
 }
 
-// decodeWAL parses a whole WAL image for the expected generation. It returns
-// the decoded records and the number of bytes of b that form a valid prefix;
-// validLen < len(b) means a torn final append that the caller should
-// truncate away. Damage that a torn append cannot explain returns
-// ErrWALCorrupt (or ErrVersionMismatch for a foreign version).
-func decodeWAL(b []byte, wantGen uint64) (recs []Mutation, validLen int64, err error) {
-	if len(b) < walHeaderLen {
-		return nil, 0, fmt.Errorf("%w: truncated header", ErrWALCorrupt)
-	}
-	if string(b[:len(walMagic)]) != walMagic {
-		return nil, 0, fmt.Errorf("%w: bad magic", ErrWALCorrupt)
-	}
-	version := binary.LittleEndian.Uint16(b[len(walMagic):])
-	if version != FormatVersion {
-		return nil, 0, fmt.Errorf("%w: WAL version %d, this build reads %d", ErrVersionMismatch, version, FormatVersion)
-	}
-	gen := binary.LittleEndian.Uint64(b[len(walMagic)+2:])
-	if gen != wantGen {
-		return nil, 0, fmt.Errorf("%w: header generation %d, want %d", ErrWALCorrupt, gen, wantGen)
-	}
-	off := int64(walHeaderLen)
-	rest := b[walHeaderLen:]
+// DecodeWALRecords parses complete records from a buffer that begins at a
+// record boundary (anywhere after the file header) and ends at the file's
+// current end. It returns the decoded records and the number of bytes they
+// span; consumed < len(b) means the buffer ends in an incomplete or
+// CRC-invalid final frame — either a torn crash append or an append still in
+// flight on a live file — which the caller retries (a streaming follower) or
+// truncates away (recovery). Damage that a racing or torn final append cannot
+// explain — an oversized length claim, or an invalid record with more data
+// behind it — returns ErrWALCorrupt. Offsets in errors are relative to b.
+func DecodeWALRecords(b []byte) (recs []Mutation, consumed int64, err error) {
+	off := int64(0)
+	rest := b
 	for len(rest) > 0 {
 		if len(rest) < walRecHdrLen {
 			return recs, off, nil // torn: partial frame header
@@ -199,4 +217,25 @@ func decodeWAL(b []byte, wantGen uint64) (recs []Mutation, validLen int64, err e
 		rest = tail
 	}
 	return recs, off, nil
+}
+
+// decodeWAL parses a whole WAL image for the expected generation. It returns
+// the decoded records, the header's fencing term, and the number of bytes of
+// b that form a valid prefix; validLen < len(b) means a torn final append
+// that the caller should truncate away. Damage that a torn append cannot
+// explain returns ErrWALCorrupt (or ErrVersionMismatch for a foreign
+// version).
+func decodeWAL(b []byte, wantGen uint64) (recs []Mutation, term uint64, validLen int64, err error) {
+	gen, term, err := ParseWALHeader(b)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if gen != wantGen {
+		return nil, 0, 0, fmt.Errorf("%w: header generation %d, want %d", ErrWALCorrupt, gen, wantGen)
+	}
+	recs, n, err := DecodeWALRecords(b[walHeaderLen:])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return recs, term, int64(walHeaderLen) + n, nil
 }

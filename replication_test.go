@@ -1,0 +1,270 @@
+package webreason_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	webreason "repro"
+	"repro/internal/persist"
+)
+
+func fleetT(i int) webreason.Triple {
+	return webreason.T(
+		webreason.NewIRI(fmt.Sprintf("http://fleet.example.org/s%d", i)),
+		webreason.NewIRI("http://fleet.example.org/p"),
+		webreason.NewIRI(fmt.Sprintf("http://fleet.example.org/o%d", i)))
+}
+
+func fleetAsk(i int) *webreason.Query {
+	return webreason.MustParseQuery(fmt.Sprintf(
+		"ASK { <http://fleet.example.org/s%d> <http://fleet.example.org/p> <http://fleet.example.org/o%d> }", i, i))
+}
+
+// newFleetPrimary builds a durable primary server over an empty KB (no
+// ontology — followers here bootstrap from the WAL run, which carries data
+// mutations only; ontology-bearing snapshot restore is covered by the
+// replica and persist packages).
+func newFleetPrimary(t *testing.T) (*webreason.Server, *webreason.DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := webreason.OpenDB(dir, webreason.DBOptions{
+		Sync: webreason.SyncGroup, CheckpointBytes: -1, CheckpointRecords: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := webreason.NewStrategy("saturation", webreason.NewKB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return webreason.NewServer(strat, webreason.ServerOptions{FlushEvery: 4, DB: db}), db, dir
+}
+
+func newFleetFollower(t *testing.T, primDir string) (*webreason.Server, *webreason.Follower) {
+	t.Helper()
+	f, err := webreason.StartFollower(webreason.FollowerConfig{
+		Dir:    t.TempDir(),
+		Source: webreason.NewFSFeeder(primDir),
+		Poll:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return webreason.NewFollowerServer(f, webreason.ServerOptions{}), f
+}
+
+// TestFleetReadYourWrites: a session's durable write on the primary, carried
+// to a follower session as a Position, is observed by that session's reads —
+// the fleet-wide extension of the read-your-writes contract. Writes on the
+// follower itself are refused typed.
+func TestFleetReadYourWrites(t *testing.T) {
+	srv, db, dir := newFleetPrimary(t)
+	defer db.Close()
+	defer srv.Close()
+
+	fsrv, _ := newFleetFollower(t, dir)
+	defer fsrv.Close()
+
+	sess := srv.Session()
+	for i := 1; i <= 3; i++ {
+		if err := sess.InsertDurable(fleetT(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos, err := sess.Position()
+	if err != nil {
+		t.Fatalf("Position: %v", err)
+	}
+	if pos.IsZero() {
+		t.Fatal("durable primary session returned zero Position")
+	}
+
+	fsess := fsrv.Session()
+	fsess.ObservePosition(pos)
+	for i := 1; i <= 3; i++ {
+		ok, err := fsess.Ask(fleetAsk(i))
+		if err != nil {
+			t.Fatalf("follower Ask(%d): %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("follower session missed write %d at observed position %s", i, pos)
+		}
+	}
+
+	// A later write is covered by a later position, through the same session.
+	if err := sess.DeleteDurable(fleetT(2)); err != nil {
+		t.Fatal(err)
+	}
+	pos2, err := sess.Position()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos2.Compare(pos) <= 0 {
+		t.Fatalf("Position did not advance: %s then %s", pos, pos2)
+	}
+	fsess.ObservePosition(pos2)
+	if ok, err := fsess.Ask(fleetAsk(2)); err != nil || ok {
+		t.Fatalf("follower Ask(2) after delete = %v, %v; want false, nil", ok, err)
+	}
+
+	// Writes belong on the primary: every follower write path refuses typed.
+	if err := fsess.Insert(fleetT(9)); !errors.Is(err, webreason.ErrNotPrimary) {
+		t.Fatalf("follower session Insert = %v, want ErrNotPrimary", err)
+	}
+	if err := fsrv.InsertDurable(fleetT(9)); !errors.Is(err, webreason.ErrNotPrimary) {
+		t.Fatalf("follower InsertDurable = %v, want ErrNotPrimary", err)
+	}
+	var npe *webreason.NotPrimaryError
+	if err := fsrv.Delete(fleetT(9)); !errors.As(err, &npe) || npe.Role != webreason.RoleFollower {
+		t.Fatalf("follower Delete = %v, want NotPrimaryError{RoleFollower}", err)
+	}
+
+	h := fsrv.Health()
+	if h.Role != webreason.RoleFollower {
+		t.Fatalf("follower Health.Role = %s, want follower", h.Role)
+	}
+	if h.ReplicaApplied.Compare(pos2) < 0 {
+		t.Fatalf("follower Health.ReplicaApplied = %s, behind observed %s", h.ReplicaApplied, pos2)
+	}
+	if h := srv.Health(); h.Role != webreason.RolePrimary || h.Position.IsZero() {
+		t.Fatalf("primary Health = role %s position %s", h.Role, h.Position)
+	}
+}
+
+// TestPromotionMidSession: a follower session keeps reading across its
+// server's promotion, the promoted server accepts writes with local
+// read-your-writes, and the old primary's directory is fenced.
+func TestPromotionMidSession(t *testing.T) {
+	srv, db, dir := newFleetPrimary(t)
+	fsrv, f := newFleetFollower(t, dir)
+	defer fsrv.Close()
+
+	sess := srv.Session()
+	if err := sess.InsertDurable(fleetT(1)); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := sess.Position()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fsess := fsrv.Session()
+	fsess.ObservePosition(pos)
+	if ok, err := fsess.Ask(fleetAsk(1)); err != nil || !ok {
+		t.Fatalf("pre-promotion read = %v, %v", ok, err)
+	}
+
+	// The primary goes away; the follower catches up and takes over.
+	waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = f.WaitApplied(waitCtx, db.TipPos())
+	cancel()
+	if err != nil {
+		t.Fatalf("WaitApplied before failover: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsrv.Promote(webreason.PromotionOptions{CatchUp: true}); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if got := fsrv.Health().Role; got != webreason.RolePromoted {
+		t.Fatalf("promoted Health.Role = %s", got)
+	}
+
+	// The same session keeps reading — its waits now resolve locally.
+	if ok, err := fsess.Ask(fleetAsk(1)); err != nil || !ok {
+		t.Fatalf("post-promotion read = %v, %v", ok, err)
+	}
+	// And it can write, with local read-your-writes.
+	if err := fsess.Insert(fleetT(2)); err != nil {
+		t.Fatalf("write on promoted server: %v", err)
+	}
+	if ok, err := fsess.Ask(fleetAsk(2)); err != nil || !ok {
+		t.Fatalf("read-your-write on promoted server = %v, %v", ok, err)
+	}
+	if err := fsess.InsertDurable(fleetT(3)); err != nil {
+		t.Fatalf("durable write on promoted server: %v", err)
+	}
+	ppos, err := fsess.Position()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppos.Term != pos.Term+1 {
+		t.Fatalf("promoted Position term = %d, want %d", ppos.Term, pos.Term+1)
+	}
+
+	// The revived old primary is refused with the typed fencing error.
+	if _, err := webreason.OpenDB(dir, webreason.DBOptions{}); !errors.Is(err, webreason.ErrDBFenced) {
+		t.Fatalf("revived old primary OpenDB = %v, want ErrDBFenced", err)
+	}
+}
+
+// TestDegradedFollowerTypedError: a follower cut off by a sibling's
+// promotion degrades — a session holding a position it can never apply gets
+// a typed error (ErrDegraded wrapping the fencing cause), never silently
+// stale data; positionless reads keep serving the last applied state.
+func TestDegradedFollowerTypedError(t *testing.T) {
+	srv, db, dir := newFleetPrimary(t)
+	fsrv1, f1 := newFleetFollower(t, dir)
+	defer fsrv1.Close()
+	fsrv2, f2 := newFleetFollower(t, dir)
+	defer fsrv2.Close()
+
+	sess := srv.Session()
+	if err := sess.InsertDurable(fleetT(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f1.WaitApplied(waitCtx, db.TipPos()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.WaitApplied(waitCtx, db.TipPos()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// f1 takes over; its fencing deposes the chain f2 is still tailing.
+	if err := fsrv1.Promote(webreason.PromotionOptions{CatchUp: true}); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	s1 := fsrv1.Session()
+	if err := s1.InsertDurable(fleetT(2)); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := s1.Position()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A session that must observe the new term's position fails typed.
+	s2 := fsrv2.Session()
+	s2.ObservePosition(pos)
+	_, err = s2.AskContext(waitCtx, fleetAsk(2))
+	if !errors.Is(err, webreason.ErrDegraded) {
+		t.Fatalf("degraded follower read = %v, want ErrDegraded", err)
+	}
+	if !errors.Is(err, webreason.ErrDBFenced) {
+		t.Fatalf("degraded follower read = %v, want wrapped ErrDBFenced", err)
+	}
+
+	// A positionless read still serves the last applied (pre-failover) state.
+	if ok, err := fsrv2.Ask(fleetAsk(1)); err != nil || !ok {
+		t.Fatalf("positionless read on degraded follower = %v, %v", ok, err)
+	}
+	h := fsrv2.Health()
+	if !h.Degraded || !errors.Is(h.DegradedCause, persist.ErrFenced) {
+		t.Fatalf("degraded follower Health = degraded=%v cause=%v", h.Degraded, h.DegradedCause)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/persist"
+	"repro/internal/replica"
 )
 
 // ServerOptions tunes a Server's mutation batching.
@@ -247,6 +248,15 @@ type Server struct {
 	// durable is strat's checkpoint surface when opts.DB is set and the
 	// strategy supports it.
 	durable core.DurableStrategy
+	// follower is the replication state machine behind a follower-mode
+	// server (NewFollowerServer); nil on a plain primary. It keeps serving
+	// after promotion (frozen) so epoch-tagged prepared entries stay valid.
+	follower *replica.Follower
+	// role is the replication role (Role), atomic so every read path can
+	// route without touching mu. It changes exactly once: follower→promoted.
+	role atomic.Int32
+	// ownDB marks a DB the server opened itself (promotion) and must close.
+	ownDB bool
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled when applied advances
@@ -323,16 +333,18 @@ func NewServer(s Strategy, opts ServerOptions) *Server {
 	return srv
 }
 
-// Strategy returns the wrapped strategy (for stats and advisory helpers;
-// do not mutate it directly while the server is live).
-func (s *Server) Strategy() Strategy { return s.strat }
+// Strategy returns the serving strategy (for stats and advisory helpers; do
+// not mutate it directly while the server is live). On a follower it is the
+// replica's current strategy and may be swapped by a re-bootstrap — re-fetch
+// it per use rather than caching it.
+func (s *Server) Strategy() Strategy { return s.reading() }
 
 // Query answers q against the current snapshot; safe for any number of
 // concurrent callers.
-func (s *Server) Query(q *Query) (*engine.Result, error) { return s.strat.Answer(q) }
+func (s *Server) Query(q *Query) (*engine.Result, error) { return s.reading().Answer(q) }
 
 // Ask reports whether q has any answer against the current snapshot.
-func (s *Server) Ask(q *Query) (bool, error) { return s.strat.Ask(q) }
+func (s *Server) Ask(q *Query) (bool, error) { return s.reading().Ask(q) }
 
 // Insert validates the triples and enqueues their assertion, returning
 // before the batch is applied (see the staleness note in the type doc).
@@ -418,6 +430,11 @@ func (s *Server) enqueue(ctx context.Context, del bool, ts []Triple, ack func(er
 		if err := t.WellFormed(); err != nil {
 			return 0, err
 		}
+	}
+	if s.role.Load() == int32(RoleFollower) {
+		// A follower serves reads only; writes belong on the primary until
+		// this node is promoted.
+		return 0, &NotPrimaryError{Role: RoleFollower}
 	}
 	m := mutation{del: del, ts: append([]Triple(nil), ts...), ack: ack}
 	s.mu.Lock()
@@ -570,6 +587,24 @@ type Health struct {
 	// Closed reports a server after Close (reads still work).
 	Closed bool
 
+	// Role is the server's replication role. A plain NewServer is
+	// RolePrimary; see NewFollowerServer and Server.Promote.
+	Role Role
+	// Position is the durable chain position of the last logged write (zero
+	// without a DB) — the watermark a primary hands to sessions so follower
+	// reads can wait for it.
+	Position Position
+	// ReplicaApplied is the position a follower has applied through (its
+	// last-applied watermark); ReplicaLagBytes / ReplicaLagRecords measure
+	// how far the source was ahead at the last poll (records are estimated
+	// from the follower's applied history; -1 with no history yet), and
+	// ReplicaEpoch counts serving-state rebootstraps. All zero outside
+	// follower mode.
+	ReplicaApplied    Position
+	ReplicaLagBytes   int64
+	ReplicaLagRecords int64
+	ReplicaEpoch      uint64
+
 	// Enqueued counts accepted mutation calls; Applied counts those the
 	// writer has applied (or, after degradation, refused). Lag — the
 	// applied-watermark lag — is Enqueued-Applied: how far reads may trail
@@ -607,6 +642,7 @@ type Health struct {
 // goroutine, cheap enough to poll.
 func (s *Server) Health() Health {
 	var h Health
+	h.Role = s.Role()
 	s.mu.Lock()
 	h.Degraded = s.durErr != nil
 	h.DegradedCause = s.durErr
@@ -616,10 +652,27 @@ func (s *Server) Health() Health {
 	// applied only advances under mu, so reading it here keeps
 	// Lag = Enqueued-Applied from racing into uint64 wraparound.
 	h.Applied = s.applied.Load()
+	// opts.DB is written by Promote (under mu); snapshot it here.
+	db := s.opts.DB
 	s.mu.Unlock()
 	h.Lag = h.Enqueued - h.Applied
-	if s.opts.DB != nil {
-		st := s.opts.DB.Stats()
+	if h.Role == RoleFollower {
+		st := s.follower.Status()
+		h.ReplicaApplied = st.Applied
+		h.ReplicaLagBytes = st.LagBytes
+		h.ReplicaLagRecords = st.LagRecords
+		h.ReplicaEpoch = st.Epoch
+		if st.Err != nil {
+			// A terminally-failed replication loop (fenced source) is the
+			// follower's degraded read-only mode: it serves its last applied
+			// state and can never advance.
+			h.Degraded = true
+			h.DegradedCause = st.Err
+		}
+	}
+	if db != nil {
+		h.Position = db.TipPos()
+		st := db.Stats()
 		h.WALGeneration = st.Generation
 		h.WALBytes = st.WALSize
 		h.WALChainBytes = st.ChainBytes
@@ -640,7 +693,9 @@ func (s *Server) Health() Health {
 // working against the final state. With durability enabled, Close also ends
 // the WAL with a final checkpoint (unless NoFinalCheckpoint), so the next
 // boot loads one snapshot with an empty tail; the caller still owns the DB
-// and must Close it afterwards. Close is idempotent.
+// and must Close it afterwards (except the DB a promotion opened, which the
+// server closes itself). On a follower, Close stops replication and closes
+// the local mirror. Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -651,20 +706,31 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.done)
+	if s.Role() == RoleFollower {
+		// Never-promoted follower: no writer goroutine, no queue; stop
+		// replication and close the local mirror. Reads keep serving the last
+		// applied state; pending waits get typed errors via the follower.
+		return s.follower.Stop()
+	}
 	s.wg.Wait() // the writer drains the queue on its way out
 	s.mu.Lock()
 	durErr := s.durErr
 	s.mu.Unlock()
-	if durErr != nil {
-		return wrapDegraded(durErr)
-	}
-	if s.durable != nil && !s.opts.NoFinalCheckpoint && s.opts.DB.Dirty() {
+	err := wrapDegraded(durErr)
+	if err == nil && s.durable != nil && !s.opts.NoFinalCheckpoint && s.opts.DB.Dirty() {
 		// Wrapped like every other durability failure: callers see one typed
 		// taxonomy (the WAL already holds the un-checkpointed history, so a
 		// failed final snapshot degrades the shutdown, it does not lose data).
-		return wrapDegraded(s.opts.DB.Checkpoint(s.durable.DurableState()))
+		err = wrapDegraded(s.opts.DB.Checkpoint(s.durable.DurableState()))
 	}
-	return nil
+	if s.ownDB {
+		// A promoted server opened its DB itself (Promote); a NewServer
+		// caller still owns theirs.
+		if cerr := s.opts.DB.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // nudge wakes the writer loop without blocking.
@@ -714,6 +780,10 @@ func (s *Server) asyncDurErr(err error) {
 type Session struct {
 	s    *Server
 	mark atomic.Uint64 // highest enqueue seq of this session's mutations
+	// pos is the highest fleet position this session must observe — carried
+	// from a primary (Position) to a follower (ObservePosition), where reads
+	// wait until the applied prefix covers it. Nil until observed.
+	pos atomic.Pointer[Position]
 }
 
 // Session returns a new read-your-writes session on the server.
@@ -815,10 +885,10 @@ func (ss *Session) Query(q *Query) (*engine.Result, error) {
 
 // QueryContext is Query with the read-your-writes wait bounded by ctx.
 func (ss *Session) QueryContext(ctx context.Context, q *Query) (*engine.Result, error) {
-	if err := ss.s.waitApplied(ctx, ss.mark.Load()); err != nil {
+	if err := ss.s.waitSession(ctx, ss); err != nil {
 		return nil, err
 	}
-	return ss.s.strat.Answer(q)
+	return ss.s.reading().Answer(q)
 }
 
 // Ask reports whether q has any answer, observing the session's own writes.
@@ -826,10 +896,10 @@ func (ss *Session) Ask(q *Query) (bool, error) { return ss.AskContext(context.Ba
 
 // AskContext is Ask with the read-your-writes wait bounded by ctx.
 func (ss *Session) AskContext(ctx context.Context, q *Query) (bool, error) {
-	if err := ss.s.waitApplied(ctx, ss.mark.Load()); err != nil {
+	if err := ss.s.waitSession(ctx, ss); err != nil {
 		return false, err
 	}
-	return ss.s.strat.Ask(q)
+	return ss.s.reading().Ask(q)
 }
 
 // writer is the single mutation applier: it owns all strategy mutation
@@ -1014,7 +1084,7 @@ func (s *Server) apply() {
 }
 
 // Len returns the strategy's physical size as of the current snapshot.
-func (s *Server) Len() int { return s.strat.Len() }
+func (s *Server) Len() int { return s.reading().Len() }
 
 // Prepare compiles q for repeated concurrent execution against the server.
 // The returned ServerPrepared is safe for any number of concurrent callers
@@ -1022,13 +1092,17 @@ func (s *Server) Len() int { return s.strat.Len() }
 // instances, each of which revalidates against the strategy's current
 // snapshot on every execution.
 func (s *Server) Prepare(q *Query) (*ServerPrepared, error) {
-	// Prepare one instance eagerly so compile-time errors surface here.
-	pq, err := s.strat.Prepare(q)
+	// Prepare one instance eagerly so compile-time errors surface here. The
+	// epoch is read before the strategy: if a follower re-bootstrap swaps the
+	// strategy in between, the entry is tagged stale and dropped on reuse
+	// rather than binding a fresh epoch to an old strategy's plan.
+	epoch := s.strategyEpoch()
+	pq, err := s.reading().Prepare(q)
 	if err != nil {
 		return nil, err
 	}
 	sp := &ServerPrepared{s: s, q: q}
-	sp.pool.Put(pq)
+	sp.pool.Put(preparedEntry{pq: pq, epoch: epoch})
 	return sp, nil
 }
 
@@ -1038,48 +1112,60 @@ func (s *Server) Prepare(q *Query) (*ServerPrepared, error) {
 type ServerPrepared struct {
 	s    *Server
 	q    *Query
-	pool sync.Pool // of core.PreparedQuery
+	pool sync.Pool // of preparedEntry
+}
+
+// preparedEntry is one pooled prepared instance, tagged with the strategy
+// epoch it was compiled under. A follower's gap re-bootstrap replaces the
+// whole serving strategy (not just its data), so entries from an older epoch
+// are discarded instead of executing against a retired strategy.
+type preparedEntry struct {
+	pq    core.PreparedQuery
+	epoch uint64
 }
 
 // Query returns the source query.
 func (p *ServerPrepared) Query() *Query { return p.q }
 
-// get hands out a pooled prepared instance, building one if the pool is
-// momentarily empty (first use by a new level of concurrency).
-func (p *ServerPrepared) get() (core.PreparedQuery, error) {
-	if pq, ok := p.pool.Get().(core.PreparedQuery); ok {
-		return pq, nil
+// get hands out a pooled prepared instance for the current strategy epoch,
+// building one if the pool is momentarily empty (first use by a new level of
+// concurrency) or holds only retired-epoch entries.
+func (p *ServerPrepared) get() (preparedEntry, error) {
+	epoch := p.s.strategyEpoch()
+	if e, ok := p.pool.Get().(preparedEntry); ok && e.epoch == epoch {
+		return e, nil
 	}
-	return p.s.strat.Prepare(p.q)
+	pq, err := p.s.reading().Prepare(p.q)
+	return preparedEntry{pq: pq, epoch: epoch}, err
 }
 
 // Answer executes the prepared query against the current snapshot.
 func (p *ServerPrepared) Answer() (*engine.Result, error) {
-	pq, err := p.get()
+	e, err := p.get()
 	if err != nil {
 		return nil, err
 	}
-	res, err := pq.Answer()
+	res, err := e.pq.Answer()
 	if err != nil {
 		// Drop the errored instance instead of pooling it: its cached plan
 		// state may be mid-revalidation, and recycling it would hand the
 		// breakage to the next caller. get builds a fresh one on demand.
 		return nil, err
 	}
-	p.pool.Put(pq)
+	p.pool.Put(e)
 	return res, nil
 }
 
 // Ask reports whether the prepared query has any answer.
 func (p *ServerPrepared) Ask() (bool, error) {
-	pq, err := p.get()
+	e, err := p.get()
 	if err != nil {
 		return false, err
 	}
-	ok, err := pq.Ask()
+	ok, err := e.pq.Ask()
 	if err != nil {
 		return false, err // drop the errored instance (see Answer)
 	}
-	p.pool.Put(pq)
+	p.pool.Put(e)
 	return ok, nil
 }
