@@ -3,8 +3,9 @@
 #   make test             run the full tier-1 suite (build + all tests)
 #   make test-race        the same suite under the race detector
 #   make vet              static checks
-#   make fuzz             run each fuzz target briefly (parsers + the
-#                         persistence snapshot/WAL decoders; panic hunt)
+#   make fuzz             run each fuzz target briefly (parsers, the
+#                         persistence snapshot/WAL decoders and the store
+#                         index codec; panic hunt)
 #   make test-chaos       seeded fault-injection sweep under the race
 #                         detector: CHAOS_SEEDS (default 200) full server
 #                         rounds over a scripted faulty filesystem, each
@@ -35,6 +36,15 @@
 #                         kill/restart and a final failover promotion
 #                         (reproduce one round with
 #                         go test -run TestReplicaChaos -replica.chaos.seed=N .)
+#   make test-store-stress
+#                         high-iteration randomized store sweep under the
+#                         race detector: the differential battery (trie
+#                         index vs legacy map-backed port vs brute force)
+#                         plus the structural-sharing properties, at
+#                         STORE_ROUNDS (default 1000) seeded rounds
+#                         (reproduce one round with
+#                         go test -run TestDifferentialBattery -store.seed=N
+#                         -store.rounds=1 ./internal/store/)
 #   make bench-replica    replication cost model: follower bootstrap time,
 #                         steady-state per-record lag, promotion downtime
 #                         -> BENCH_replica.json (BENCHTIME=1x in CI)
@@ -45,8 +55,11 @@ FUZZTIME ?= 30s
 BENCHTIME ?= 1s
 CHAOS_SEEDS ?= 200
 REPLICA_CHAOS_SEEDS ?= 24
+STORE_SEED ?= 1
+STORE_ROUNDS ?= 1000
+STORE_STEPS ?= 300
 
-.PHONY: test test-race test-chaos test-replica-chaos vet fuzz bench bench-query bench-concurrent bench-persist bench-group bench-replica
+.PHONY: test test-race test-chaos test-replica-chaos test-store-stress vet fuzz bench bench-query bench-concurrent bench-persist bench-group bench-replica
 
 test:
 	$(GO) build ./...
@@ -61,6 +74,11 @@ test-chaos:
 test-replica-chaos:
 	$(GO) test -race -run TestReplicaChaos -replica.chaos.seeds=$(REPLICA_CHAOS_SEEDS) .
 
+test-store-stress:
+	$(GO) test -race -run 'TestDifferentialBattery|TestSnapshotStructuralSharing|TestSnapshotO1' \
+		-timeout 30m ./internal/store/ \
+		-store.seed=$(STORE_SEED) -store.rounds=$(STORE_ROUNDS) -store.steps=$(STORE_STEPS)
+
 vet:
 	$(GO) vet ./...
 
@@ -70,6 +88,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSPARQL -fuzztime $(FUZZTIME) ./internal/sparql/
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run '^$$' -fuzz FuzzHAMTNodeDecode -fuzztime $(FUZZTIME) ./internal/store/
 
 bench: bench-query
 	$(GO) test -run '^$$' -bench 'BenchmarkStore' -benchmem ./internal/store/ | \

@@ -41,7 +41,7 @@ func goldenState() State {
 }
 
 // TestGoldenSnapshot pins the exact bytes of the snapshot format: encoding
-// the fixed state must reproduce testdata/golden_v2.snap, and decoding the
+// the fixed state must reproduce testdata/golden_v3.snap, and decoding the
 // pinned file must yield the same content. Any intentional codec or layout
 // change breaks this test and must bump FormatVersion (and add a new golden
 // file) so old files are refused rather than misread.
@@ -55,7 +55,7 @@ func TestGoldenSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	golden := filepath.Join("testdata", "golden_v2.snap")
+	golden := filepath.Join("testdata", "golden_v3.snap")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

@@ -41,7 +41,9 @@ import (
 // FormatVersion is the current snapshot and WAL format version. Bump it on
 // any change to the file layouts or the dict/store/term codecs.
 // Version 2 added the fencing term to both headers (replication failover).
-const FormatVersion = 2
+// Version 3 regrouped store index sections by first component for the
+// persistent-trie (HAMT) index layout (see internal/store/codec.go).
+const FormatVersion = 3
 
 const (
 	snapMagic   = "WRSNAP"

@@ -12,26 +12,41 @@ import (
 	"repro/internal/dict"
 )
 
-// Binary export/import of a store's packed-key index layout, the basis of
-// the persistence layer's "near-memcpy" snapshot loading. The format mirrors
-// the in-memory structure: a triple count, then for each of the three
-// indexes (SPO, POS, OSP) its leaves as (packed key, length, ascending IDs)
-// triplets, keys in ascending order. Import therefore rebuilds each index in
-// one linear pass with zero searching — every leaf is constructed directly
-// from its decoded ID run (sorted slice or promoted set), and the per-index
-// side tables (subs, counts) fall out of the key ordering for free, because
-// ascending packed keys group all b values of one a contiguously and in
-// order. Serialising all three orders trades a 3× larger file for skipping
-// the entire Add path on load; snapshots are written by a background
+// Binary export/import of the store's index layout, the basis of the
+// persistence layer's "near-memcpy" snapshot loading. The format groups
+// each index section by first component: a header with the distinct-a
+// and leaf counts, then for every a (ascending) its b values (ascending),
+// each with the leaf's ascending ID run:
+//
+//	u32 nA       distinct first components
+//	u32 nLeaves  total (a,b) leaves
+//	per a ascending:
+//	  u32 a
+//	  u32 nB     leaves under a (≥ 1)
+//	  per b ascending:
+//	    u32 b
+//	    u32 len  (≥ 1)
+//	    len × u32 ids, strictly ascending
+//
+// Every field is 4 bytes, so ID runs stay 4-byte aligned whenever the buffer
+// is — which is what lets the decoder alias them in place. Import rebuilds
+// each index in one linear pass: each leaf becomes one hash-trie insert,
+// and per-a groups become side-table records directly — their ascending b
+// runs carved out of a shared arena as ready-made sorted sub sets, their
+// triple counts summed during the same pass. Grouping by a also drops the
+// old format's repeated high key halves, and the side table's ordered
+// iteration replaces the explicit key sort the map-backed writer needed.
+// Serialising all three orders trades a 3× larger file for skipping the
+// entire Add path on load; snapshots are written by a background
 // checkpointer and read on process start, exactly the asymmetry that trade
 // wants.
 //
 // The encoding is canonical: one store state has exactly one serialisation
-// (keys sorted, leaf IDs sorted), so snapshot bytes are reproducible and can
+// (groups and leaf IDs sorted), so snapshot bytes are reproducible and can
 // be pinned as golden files. Decoding validates structure strictly — ordered
-// keys, ordered in-range IDs, index sizes agreeing with the header — and
-// never panics on malformed input; whole-file integrity (bit rot, torn
-// writes) is the caller's job via CRC framing (internal/persist).
+// groups, ordered in-range IDs, counts agreeing with the header — and never
+// panics on malformed input; whole-file integrity (bit rot, torn writes) is
+// the caller's job via CRC framing (internal/persist).
 
 // ErrStoreCorrupt is wrapped by every store-decoding error.
 var ErrStoreCorrupt = errors.New("store: corrupt binary store")
@@ -74,33 +89,36 @@ func (t *tables) WriteBinary(w io.Writer) error {
 // to w, and returns the remaining buffered tail for the caller to continue
 // with (or flush).
 func appendIndexBinary(w io.Writer, buf []byte, ix *index, sortMu *sync.Mutex) ([]byte, error) {
-	keys := make([]uint64, 0, len(ix.leaves))
-	for k := range ix.leaves {
-		keys = append(keys, k)
-	}
-	slices.Sort(keys)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ix.subs)))
-	for _, k := range keys {
-		l := ix.leaves[k]
-		var ids []dict.ID
-		if l.set == nil {
-			ids = l.small
-		} else {
-			sortMu.Lock()
-			ids = l.sortedView()
-			sortMu.Unlock()
-		}
-		buf = binary.LittleEndian.AppendUint64(buf, k)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
-		for _, id := range ids {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
-		}
-		if len(buf) >= 1<<16 {
-			if _, err := w.Write(buf); err != nil {
-				return nil, err
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.as.len()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.leaves()))
+	// The side tables iterate in hash order; the canonical encoding wants
+	// ascending a, so collect and sort the group keys first (one sort of the
+	// a vocabulary — small next to the per-leaf sorts below).
+	groups := make([]dict.ID, 0, ix.as.len())
+	ix.as.forEach(func(k uint64, _ aSub) bool {
+		groups = append(groups, dict.ID(k))
+		return true
+	})
+	slices.Sort(groups)
+	for _, a := range groups {
+		e, _ := ix.as.get(uint64(a))
+		bs := sortedSub(e.sub, sortMu)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(bs)))
+		for _, b := range bs {
+			l, _ := ix.ls.get(pack(a, b))
+			ids := sortedSub(l, sortMu)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(b))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+			for _, id := range ids {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
 			}
-			buf = buf[:0]
+			if len(buf) >= 1<<16 {
+				if _, err := w.Write(buf); err != nil {
+					return nil, err
+				}
+				buf = buf[:0]
+			}
 		}
 	}
 	return buf, nil
@@ -156,7 +174,7 @@ func ReadBinaryChecked(b []byte, maxID dict.ID) (*Store, error) {
 }
 
 // readIndex decodes one index section into ix, requiring its triple total to
-// equal size and every ID (key halves and leaf entries) to be ≤ maxID, and
+// equal size and every ID (group keys and leaf entries) to be ≤ maxID, and
 // returns the unconsumed remainder of b.
 func readIndex(ix *index, b []byte, size int, maxID dict.ID) ([]byte, error) {
 	if len(b) < 8 {
@@ -165,32 +183,24 @@ func readIndex(ix *index, b []byte, size int, maxID dict.ID) ([]byte, error) {
 	// Counts are validated in uint64 space before conversion: on 32-bit
 	// hosts a raw uint32 would wrap negative in int and slip past the bound
 	// checks straight into a make() panic, breaking the never-panic contract.
-	nLeaves64 := uint64(binary.LittleEndian.Uint32(b))
-	nSubs64 := uint64(binary.LittleEndian.Uint32(b[4:]))
+	nA64 := uint64(binary.LittleEndian.Uint32(b))
+	nLeaves64 := uint64(binary.LittleEndian.Uint32(b[4:]))
 	b = b[8:]
 	if nLeaves64 > uint64(size) {
 		return nil, fmt.Errorf("leaf count %d exceeds size %d", nLeaves64, size)
 	}
-	if nSubs64 > nLeaves64 || (nLeaves64 > 0 && nSubs64 == 0) {
-		return nil, fmt.Errorf("sub count %d inconsistent with %d leaves", nSubs64, nLeaves64)
+	if nA64 > nLeaves64 || (nLeaves64 > 0 && nA64 == 0) {
+		return nil, fmt.Errorf("group count %d inconsistent with %d leaves", nA64, nLeaves64)
 	}
-	nLeaves, nSubs := int(nLeaves64), int(nSubs64) // ≤ size, which fits int
-	// Maps are pre-sized exactly — the format records the leaf count and the
-	// distinct-a count per index, so no map over- or under-shoots (an index
-	// like POS has millions of leaves but a handful of predicates; guessing
-	// either way wastes zeroing or rehashing).
-	ix.leaves = make(map[uint64]*postings, nLeaves)
-	ix.subs = make(map[dict.ID]*postings, nSubs)
-	ix.counts = make(map[dict.ID]int, nSubs)
-	// Sub lists and postings structs are carved out of contiguous arenas —
-	// one allocation each instead of one per leaf — sized by the exact
-	// totals the format implies: every leaf contributes one b value to one
-	// sub list, and postings structs number one per leaf plus one per
-	// distinct a. The incremental checks below keep appends within the
-	// arenas' capacity, so carved slices and struct pointers are never
-	// invalidated by reallocation. Leaf IDs alias the input in place when
-	// the host representation matches (see ReadBinaryChecked), falling back
-	// to one more arena otherwise.
+	nA, nLeaves := int(nA64), int(nLeaves64) // ≤ size, which fits int
+	// Postings structs (leaves and side-table sub sets) and the per-group b
+	// key runs are carved out of contiguous arenas — one allocation each
+	// instead of one per leaf — sized by the exact totals the header
+	// declares. The incremental checks below keep appends within the arenas'
+	// capacity, so carved slices and struct pointers are never invalidated
+	// by reallocation. Leaf IDs alias the input in place when the host
+	// representation matches (see ReadBinaryChecked), falling back to one
+	// more arena otherwise.
 	//
 	// Every decoded leaf stays in the sorted-slice representation no matter
 	// its size — binary-search membership is valid at any length, the slice
@@ -204,109 +214,113 @@ func readIndex(ix *index, b []byte, size int, maxID dict.ID) ([]byte, error) {
 	if !alias {
 		leafArena = make([]dict.ID, 0, size)
 	}
-	subArena := make([]dict.ID, 0, nLeaves)
-	posArena := make([]postings, 0, nLeaves+nSubs)
+	posArena := make([]postings, 0, nLeaves)
+	subArena := make([]postings, 0, nA)    // per-group side-table b sets
+	ksArena := make([]dict.ID, 0, nLeaves) // per-group b keys
+	m := &mctx{}                           // epoch-0 build: every structure is freshly owned
 	var (
-		total    int
-		prevKey  uint64
-		curA     dict.ID // a value of the open sub run (0 = none)
-		subLen   int     // b values accumulated for curA (tail of subArena)
-		curCount int     // triples accumulated for curA
-		runs     int     // distinct a values seen; must not exceed nSubs
+		total      int
+		leavesSeen int
+		prevA      dict.ID
 	)
-	closeRun := func() {
-		if curA == 0 {
-			return
+	for ai := 0; ai < nA; ai++ {
+		if len(b) < 8 {
+			return nil, errors.New("truncated group header")
 		}
-		posArena = append(posArena, postings{small: subArena[len(subArena)-subLen : len(subArena) : len(subArena)]})
-		ix.subs[curA] = &posArena[len(posArena)-1]
-		ix.counts[curA] = curCount
-		subLen = 0
-		curCount = 0
-	}
-	for i := 0; i < nLeaves; i++ {
-		if len(b) < 12 {
-			return nil, errors.New("truncated leaf header")
+		a := dict.ID(binary.LittleEndian.Uint32(b))
+		nB64 := uint64(binary.LittleEndian.Uint32(b[4:]))
+		b = b[8:]
+		if a <= prevA {
+			return nil, fmt.Errorf("group %d not above predecessor %d", a, prevA)
 		}
-		key := binary.LittleEndian.Uint64(b)
-		n64 := uint64(binary.LittleEndian.Uint32(b[8:]))
-		b = b[12:]
-		if i > 0 && key <= prevKey {
-			return nil, fmt.Errorf("key %#x not above predecessor %#x", key, prevKey)
+		prevA = a
+		if a > maxID {
+			return nil, fmt.Errorf("group %d beyond max ID %d", a, maxID)
 		}
-		prevKey = key
-		a, bb := dict.ID(key>>32), dict.ID(key)
-		if a == dict.None || bb == dict.None {
-			return nil, fmt.Errorf("key %#x has a zero component", key)
+		if nB64 == 0 {
+			return nil, fmt.Errorf("empty group %d", a)
 		}
-		if a > maxID || bb > maxID {
-			return nil, fmt.Errorf("key %#x beyond max ID %d", key, maxID)
+		// Checked before any leaf of the group is appended: exceeding the
+		// declared leaf count would grow posArena past its capacity and
+		// invalidate every pointer already taken into it.
+		if nB64 > uint64(nLeaves-leavesSeen) {
+			return nil, fmt.Errorf("group %d leaf count %d exceeds remaining %d", a, nB64, nLeaves-leavesSeen)
 		}
-		if n64 == 0 {
-			return nil, fmt.Errorf("empty leaf %#x", key)
-		}
-		if n64 > uint64(len(b)/4) {
-			return nil, fmt.Errorf("leaf %#x length %d exceeds buffer", key, n64)
-		}
-		n := int(n64) // ≤ len(b)/4, which fits int
-		total += n
-		if total > size {
-			return nil, fmt.Errorf("index total exceeds declared size %d", size)
-		}
-		// Validate the ascending ID run, then either alias it in place or
-		// copy it into the arena.
-		var ids []dict.ID
-		if alias {
-			ids = unsafe.Slice((*dict.ID)(unsafe.Pointer(unsafe.SliceData(b))), n)
-			prev := dict.ID(0)
-			for _, id := range ids {
-				if id <= prev {
-					return nil, fmt.Errorf("leaf %#x IDs not strictly ascending", key)
+		nB := int(nB64)
+		leavesSeen += nB
+		count := 0
+		ksStart := len(ksArena)
+		var prevB dict.ID
+		for bi := 0; bi < nB; bi++ {
+			if len(b) < 8 {
+				return nil, errors.New("truncated leaf header")
+			}
+			bb := dict.ID(binary.LittleEndian.Uint32(b))
+			n64 := uint64(binary.LittleEndian.Uint32(b[4:]))
+			b = b[8:]
+			if bb <= prevB {
+				return nil, fmt.Errorf("leaf (%d,%d) not above predecessor %d", a, bb, prevB)
+			}
+			prevB = bb
+			if bb == dict.None || bb > maxID {
+				return nil, fmt.Errorf("leaf key %d beyond max ID %d", bb, maxID)
+			}
+			if n64 == 0 {
+				return nil, fmt.Errorf("empty leaf (%d,%d)", a, bb)
+			}
+			if n64 > uint64(len(b)/4) {
+				return nil, fmt.Errorf("leaf (%d,%d) length %d exceeds buffer", a, bb, n64)
+			}
+			n := int(n64) // ≤ len(b)/4, which fits int
+			total += n
+			if total > size {
+				return nil, fmt.Errorf("index total exceeds declared size %d", size)
+			}
+			// Validate the ascending ID run, then either alias it in place
+			// or copy it into the arena.
+			var ids []dict.ID
+			if alias {
+				ids = unsafe.Slice((*dict.ID)(unsafe.Pointer(unsafe.SliceData(b))), n)
+				prev := dict.ID(0)
+				for _, id := range ids {
+					if id <= prev {
+						return nil, fmt.Errorf("leaf (%d,%d) IDs not strictly ascending", a, bb)
+					}
+					prev = id
 				}
-				prev = id
-			}
-			if ids[n-1] > maxID {
-				return nil, fmt.Errorf("leaf %#x holds ID %d beyond max ID %d", key, ids[n-1], maxID)
-			}
-		} else {
-			start := len(leafArena)
-			prev := dict.ID(0)
-			for j := 0; j < n; j++ {
-				id := dict.ID(binary.LittleEndian.Uint32(b[4*j:]))
-				if id <= prev {
-					return nil, fmt.Errorf("leaf %#x IDs not strictly ascending", key)
+				if ids[n-1] > maxID {
+					return nil, fmt.Errorf("leaf (%d,%d) holds ID %d beyond max ID %d", a, bb, ids[n-1], maxID)
 				}
-				prev = id
-				leafArena = append(leafArena, id)
+			} else {
+				start := len(leafArena)
+				prev := dict.ID(0)
+				for j := 0; j < n; j++ {
+					id := dict.ID(binary.LittleEndian.Uint32(b[4*j:]))
+					if id <= prev {
+						return nil, fmt.Errorf("leaf (%d,%d) IDs not strictly ascending", a, bb)
+					}
+					prev = id
+					leafArena = append(leafArena, id)
+				}
+				if prev > maxID {
+					return nil, fmt.Errorf("leaf (%d,%d) holds ID %d beyond max ID %d", a, bb, prev, maxID)
+				}
+				ids = leafArena[start:len(leafArena):len(leafArena)]
 			}
-			if prev > maxID {
-				return nil, fmt.Errorf("leaf %#x holds ID %d beyond max ID %d", key, prev, maxID)
-			}
-			ids = leafArena[start:len(leafArena):len(leafArena)]
+			b = b[4*n:]
+			posArena = append(posArena, postings{small: ids})
+			*ix.ls.upsert(pack(a, bb), m) = &posArena[len(posArena)-1]
+			ksArena = append(ksArena, bb)
+			count += n
 		}
-		b = b[4*n:]
-		posArena = append(posArena, postings{small: ids})
-		ix.leaves[key] = &posArena[len(posArena)-1]
-		if a != curA {
-			// Checked before closeRun appends: exceeding the declared sub
-			// count would grow posArena past its capacity and invalidate
-			// every pointer already taken into it.
-			if runs++; runs > nSubs {
-				return nil, fmt.Errorf("more than %d distinct first components", nSubs)
-			}
-			closeRun()
-			curA = a
-		}
-		subArena = append(subArena, bb)
-		subLen++
-		curCount += n
+		subArena = append(subArena, postings{small: ksArena[ksStart:len(ksArena):len(ksArena)]})
+		*ix.as.upsert(uint64(a), m) = aSub{count: int32(count), sub: &subArena[len(subArena)-1]}
 	}
-	closeRun()
+	if leavesSeen != nLeaves {
+		return nil, fmt.Errorf("index holds %d leaves, header says %d", leavesSeen, nLeaves)
+	}
 	if total != size {
 		return nil, fmt.Errorf("index holds %d triples, header says %d", total, size)
-	}
-	if len(ix.subs) != nSubs {
-		return nil, fmt.Errorf("index holds %d distinct first components, header says %d", len(ix.subs), nSubs)
 	}
 	return b, nil
 }

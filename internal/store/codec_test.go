@@ -193,28 +193,18 @@ func TestReadBinaryRejectsCorrupt(t *testing.T) {
 		"zero key half":     nil, // built below
 		"unsorted leaf ids": nil,
 	}
-	// Hand-build an encoding with a zero key component: size 1, SPO leaf
-	// key (0<<32|2), then empty POS/OSP (which will also fail size checks,
-	// but the key check fires first).
-	zero := []byte{
+	// Hand-build an encoding whose first SPO group key is zero — the decoder
+	// must reject it before reading anything else.
+	cases["zero key half"] = []byte{
 		1, 0, 0, 0, 0, 0, 0, 0, // size=1
+		1, 0, 0, 0, // spo: 1 group
 		1, 0, 0, 0, // spo: 1 leaf
-		2, 0, 0, 0, 0, 0, 0, 0, // key a=0,b=2
-		1, 0, 0, 0, // n=1
+		0, 0, 0, 0, // a=0 (zero group key)
+		1, 0, 0, 0, // nB=1
+		2, 0, 0, 0, // b=2
+		1, 0, 0, 0, // len=1
 		3, 0, 0, 0, // id=3
-		1, 0, 0, 0, // pos: 1 leaf
-		2, 0, 0, 0, 1, 0, 0, 0,
-		1, 0, 0, 0,
-		3, 0, 0, 0,
-		1, 0, 0, 0, // osp: 1 leaf
-		3, 0, 0, 0, 1, 0, 0, 0,
-		1, 0, 0, 0,
-		2, 0, 0, 0,
 	}
-	cases["zero key half"] = zero
-	unsorted := append([]byte{}, zero...)
-	unsorted[12] = 1 // fix key a=1
-	// make the single-ID leaf claim 2 ids with a descending pair
 	cases["unsorted leaf ids"] = func() []byte {
 		s2 := New()
 		s2.Add(Triple{1, 2, 3})
@@ -222,8 +212,9 @@ func TestReadBinaryRejectsCorrupt(t *testing.T) {
 		var b2 bytes.Buffer
 		s2.WriteBinary(&b2)
 		c := b2.Bytes()
-		// SPO leaf ids start after 8(size)+4(count)+8(key)+4(n): swap them.
-		c[24], c[28] = c[28], c[24]
+		// SPO leaf ids start after 8(size)+8(nA,nLeaves)+8(a,nB)+8(b,len):
+		// swap the two ids so the run descends.
+		c[32], c[36] = c[36], c[32]
 		return c
 	}()
 

@@ -174,14 +174,11 @@ func TestPackedStoreEquivalence(t *testing.T) {
 	if s.Len() != 0 {
 		t.Fatalf("drained store Len = %d, want 0", s.Len())
 	}
-	if n := len(s.spo.leaves) + len(s.pos.leaves) + len(s.osp.leaves); n != 0 {
+	if n := s.spo.leaves() + s.pos.leaves() + s.osp.leaves(); n != 0 {
 		t.Fatalf("drained store retains %d leaves", n)
 	}
-	if n := len(s.spo.subs) + len(s.pos.subs) + len(s.osp.subs); n != 0 {
-		t.Fatalf("drained store retains %d sub entries", n)
-	}
-	if n := len(s.spo.counts) + len(s.pos.counts) + len(s.osp.counts); n != 0 {
-		t.Fatalf("drained store retains %d count entries", n)
+	if n := s.spo.as.len() + s.pos.as.len() + s.osp.as.len(); n != 0 {
+		t.Fatalf("drained store retains %d index entries", n)
 	}
 }
 

@@ -9,13 +9,13 @@ import (
 	"repro/internal/dict"
 )
 
-// TripleSet is a membership-only triple container: the same packed-key SPO
-// index, copy-on-write snapshot machinery and binary codec as Store, minus
-// the two extra access orders. It exists for state that is a set, not a
-// database — the materialization's record of which triples are explicitly
-// asserted does only point lookups (DRed's IsBase checks) and point updates,
-// so carrying POS and OSP for it would triple the memory, checkpoint bytes
-// and snapshot-load work for nothing.
+// TripleSet is a membership-only triple container: the same persistent
+// hash-trie SPO index, copy-on-write snapshot machinery and binary
+// codec as Store, minus the two extra access orders. It exists for state
+// that is a set, not a database — the materialization's record of which
+// triples are explicitly asserted does only point lookups (DRed's IsBase
+// checks) and point updates, so carrying POS and OSP for it would triple the
+// memory, checkpoint bytes and snapshot-load work for nothing.
 type TripleSet struct {
 	ix     index
 	size   int
@@ -24,11 +24,13 @@ type TripleSet struct {
 	epoch  uint64
 	shared bool
 	snap   *TripleSetSnapshot
+	copied uint64
 }
 
-// NewTripleSet returns an empty set pre-sized for roughly n triples.
+// NewTripleSet returns an empty set; n is ignored (see NewWithCapacity).
 func NewTripleSet(n int) *TripleSet {
-	return &TripleSet{ix: newIndex(n), sortMu: &sync.Mutex{}}
+	_ = n
+	return &TripleSet{sortMu: &sync.Mutex{}}
 }
 
 // Contains reports membership of the (fully concrete) triple.
@@ -40,16 +42,14 @@ func (s *TripleSet) Contains(t Triple) bool {
 // Len returns the number of triples in the set.
 func (s *TripleSet) Len() int { return s.size }
 
-// detach readies the set for mutation after a snapshot was taken (see
-// Store.detach; same cost model).
-func (s *TripleSet) detach() {
+// mut readies the set for mutation after a snapshot was taken (see
+// Store.mut; same O(1) cost model).
+func (s *TripleSet) mut() {
 	s.snap = nil
-	if !s.shared {
-		return
+	if s.shared {
+		s.shared = false
+		s.epoch++
 	}
-	s.ix = s.ix.detach()
-	s.shared = false
-	s.epoch++
 }
 
 // Add inserts the triple and reports whether it was new.
@@ -60,11 +60,22 @@ func (s *TripleSet) Add(t Triple) bool {
 	if s.snap != nil && s.Contains(t) {
 		return false
 	}
-	s.detach()
-	if !s.ix.add(t.S, t.P, t.O, s.epoch) {
+	s.mut()
+	m := mctx{epoch: s.epoch}
+	if s.epoch == 0 {
+		// Never snapshotted: single-walk path, nothing can be frozen.
+		if !s.ix.addFast(t.S, t.P, t.O, &m) {
+			return false
+		}
+		s.size++
+		return true
+	}
+	if !s.ix.add(t.S, t.P, t.O, &m) {
+		s.copied += m.copied
 		return false
 	}
 	s.size++
+	s.copied += m.copied
 	return true
 }
 
@@ -73,16 +84,20 @@ func (s *TripleSet) Remove(t Triple) bool {
 	if s.snap != nil && !s.Contains(t) {
 		return false
 	}
-	s.detach()
-	if !s.ix.remove(t.S, t.P, t.O, s.epoch) {
+	s.mut()
+	m := mctx{epoch: s.epoch}
+	if !s.ix.remove(t.S, t.P, t.O, &m) {
+		s.copied += m.copied
 		return false
 	}
 	s.size--
+	s.copied += m.copied
 	return true
 }
 
 // ForEach calls fn for every triple, stopping early if fn returns false.
-// The set must not be mutated from inside fn; order is unspecified.
+// The set must not be mutated from inside fn; iteration order is
+// unspecified but deterministic for a given set state.
 func (s *TripleSet) ForEach(fn func(Triple) bool) { forEachInIndex(&s.ix, fn) }
 
 // Clone returns an independent deep copy.
@@ -174,12 +189,7 @@ func ReadSetBinary(b []byte, maxID dict.ID) (*TripleSet, error) {
 	return s, nil
 }
 
-// forEachInIndex enumerates an SPO-ordered index as triples.
+// forEachInIndex enumerates an SPO index as triples (structural order).
 func forEachInIndex(ix *index, fn func(Triple) bool) {
-	for k, l := range ix.leaves {
-		s, p := dict.ID(k>>32), dict.ID(k)
-		if !l.forEach(func(o dict.ID) bool { return fn(Triple{s, p, o}) }) {
-			return
-		}
-	}
+	ix.forEachTriple(func(s, p, o dict.ID) bool { return fn(Triple{s, p, o}) })
 }

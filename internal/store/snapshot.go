@@ -6,17 +6,18 @@ package store
 // store keeps mutating: a snapshot's triples never change after Snapshot
 // returns.
 //
-// Snapshots are cheap: taking one is O(1) — it shares the store's index maps
-// and every postings leaf. The cost model is deferred to the writer, which
-// pays (a) one shallow map copy per index on its first mutation after a
-// snapshot (detach), and (b) one leaf copy the first time each frozen leaf
-// is mutated within an epoch (copy-on-write). A read-mostly workload taking
-// many snapshots between rare mutation batches therefore pays almost
-// nothing; a write-heavy workload amortises the detach across the batch.
+// Snapshots are cheap on both sides: taking one is O(1) — a shallow copy of
+// the three index root structs, sharing every trie node and postings leaf —
+// and the writer's continued mutations pay only an O(trie depth) path copy
+// for the first touch of each index path per epoch (copy-on-write on the
+// persistent tries), never a per-snapshot scan of the index. Any number of
+// snapshots may be live at once; old ones keep sharing whatever the writer
+// has not replaced. That cost model is what makes snapshot-per-query reads,
+// long-lived pinned views and checkpoint-while-writing all practical.
 //
-// Memory: a snapshot retains the leaves it shares for as long as it is
-// referenced. Dropping every reference to a snapshot releases whatever the
-// live store has since replaced.
+// Memory: a snapshot retains the nodes and leaves it shares for as long as
+// it is referenced. Dropping every reference to a snapshot releases whatever
+// the live store has since replaced.
 type Snapshot struct {
 	tables
 	epoch uint64
@@ -34,7 +35,8 @@ func (s *Snapshot) Epoch() uint64 { return s.epoch }
 // must be called from the writer side (i.e. serialized with mutations, like
 // every mutation method); the returned Snapshot can then be handed to any
 // number of concurrent readers, typically through an atomic pointer swapped
-// after each mutation batch.
+// after each mutation batch — or taken per query, which the O(1) cost makes
+// affordable.
 //
 // Consecutive calls with no intervening mutation return the same snapshot.
 func (s *Store) Snapshot() *Snapshot {

@@ -4,31 +4,38 @@
 // materialises entailed triples into it, reformulation evaluates rewritten
 // queries against it untouched.
 //
-// Triples are (S,P,O) tuples of dict.IDs. Three packed-key two-level indexes
-// (SPO, POS, OSP) cover all eight triple-pattern shapes: each index maps a
-// single uint64 key (a<<32)|b to a compact postings leaf holding the third
-// components, so the two-constant pattern shapes — the hot shapes of rule
-// matching and index nested-loop joins — cost one hash lookup instead of the
-// two or three of a nested-map layout. A leaf starts as a small sorted
-// []dict.ID and promotes to a hash set past promoteAt elements, keeping the
-// common short leaf allocation-light and cache-friendly (the flat-layout
-// idea of RDF-3X-style engines, reduced to the three orders pattern matching
-// needs). Per-index side tables (a → present b values, a → triple count)
-// serve the single-constant shapes and make every Count O(1) except the
-// fully-unbound scan.
+// Triples are (S,P,O) tuples of dict.IDs. Three persistent indexes (SPO,
+// POS, OSP) cover all eight triple-pattern shapes. Each index maps the
+// packed key (a<<32)|b straight to a compact postings leaf of third
+// components through a persistent hash-array-mapped trie (see hmap) — one
+// walk per probe, which is what the engine's merge joins hammer — and keeps
+// a side table per first component a (in a second hmap) holding the set of b
+// values under a and the per-a triple count. A leaf starts as a small
+// sorted []dict.ID and promotes to a hash set past promoteAt elements,
+// keeping the common short leaf allocation-light and cache-friendly (the
+// flat-layout idea of RDF-3X-style engines, reduced to the three orders
+// pattern matching needs). The per-a counters make every Count O(lookup)
+// except the fully-unbound scan. Enumeration order is unspecified (hash
+// order); sorted access goes through SortedIDs/Postings on leaves and the
+// canonical encoder, which sort on demand.
 //
 // # Snapshots
 //
 // The store separates a single-writer mutation path from immutable read
-// epochs: Store.Snapshot returns a point-in-time Snapshot sharing all
-// postings leaves with the live store. Leaves are stamped with the mutation
-// epoch that created them; taking a snapshot freezes the current epoch, and
-// the writer copies a frozen leaf before its first mutation (copy-on-write),
-// so a Snapshot's contents never change after it is taken. See snapshot.go.
+// epochs: Store.Snapshot returns a point-in-time Snapshot in O(1) — a
+// shallow copy of the three index root structs, sharing every trie node and
+// postings leaf. Nodes and leaves are stamped with the mutation epoch that
+// created them; taking a snapshot freezes the current epoch, and the writer
+// path-copies frozen nodes on the way to its first mutation of each path per
+// epoch (copy-on-write), mutating in place afterwards. A mutation therefore
+// costs O(depth) node copies worst case — never O(index size), no matter how
+// many snapshots are live — which is what makes snapshot-per-query reads and
+// long-lived pinned views affordable. See snapshot.go.
 package store
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/dict"
@@ -52,154 +59,193 @@ func (t Triple) Matches(u Triple) bool {
 		(t.O == dict.None || t.O == u.O)
 }
 
-// pack builds the packed two-level index key for (a, b).
+// pack builds the packed index key for (a, b).
 func pack(a, b dict.ID) uint64 { return uint64(a)<<32 | uint64(b) }
 
-// index is one access order of the store: leaves maps the packed (a,b) key
-// to the set of third components, subs tracks which b values occur under
-// each a (for the single-constant pattern shapes), and counts tracks the
-// number of triples per a (making those shapes' Count O(1)).
+// aSub is the side-table record for one first-component value a within an
+// index: the set of second components b under a (as a postings set — same
+// adaptive sorted-slice/hash representation as the leaves) and the number of
+// triples under a, which makes the single-constant Count shapes a single
+// lookup. Records are stored by value in the a-level trie, so node ownership
+// covers the record itself; the sub postings follows the usual per-structure
+// epoch copy-on-write protocol.
+type aSub struct {
+	count int32
+	sub   *postings
+}
+
+// index is one access order of the store: a persistent hash trie from the
+// packed (a,b) key to the postings leaf of third components, plus the per-a
+// side table that drives sorted enumeration and constant-time counts.
 type index struct {
-	leaves map[uint64]*postings
-	subs   map[dict.ID]*postings
-	counts map[dict.ID]int
+	ls hmap[*postings]
+	as hmap[aSub]
+
+	// Side-table hint: the record the last addFast touched. Bulk loads and
+	// saturation insert long runs with the same first component (POS sees a
+	// handful of predicates over and over), and the hint turns the per-insert
+	// count walk into a pointer bump for those runs. The pointer is valid
+	// while as.gen is unchanged — any insert, delete or copy-on-write clone
+	// in the side table invalidates it. Snapshots copy these fields but
+	// never write through them; clone() and the decoder start from a zero
+	// index, so the hint never crosses store boundaries.
+	hintA   uint64
+	hintE   *aSub
+	hintGen uint64
 }
 
-func newIndex(capHint int) index {
-	return index{
-		leaves: make(map[uint64]*postings, capHint),
-		subs:   make(map[dict.ID]*postings, capHint/4),
-		counts: make(map[dict.ID]int, capHint/4),
+// aHint returns the side-table record for a, through the hint when it still
+// applies, refreshing it otherwise.
+func (ix *index) aHint(a uint64, m *mctx) *aSub {
+	if ix.hintE != nil && ix.hintA == a && ix.hintGen == ix.as.gen {
+		return ix.hintE
 	}
+	e := ix.as.upsert(a, m)
+	ix.hintA, ix.hintE, ix.hintGen = a, e, ix.as.gen
+	return e
 }
 
-// mutable returns the leaf under k ready for in-place mutation at epoch:
-// a leaf stamped with an older epoch is shared with some snapshot, so it is
-// replaced by a copy stamped with the current epoch first (the copy-on-write
-// step of the snapshot design; O(leaf size), paid once per leaf per epoch).
-func (ix *index) mutable(k uint64, l *postings, epoch uint64) *postings {
-	if l.epoch == epoch {
-		return l
-	}
-	c := l.cloneAt(epoch)
-	ix.leaves[k] = c
-	return c
-}
-
-func (ix *index) add(a, b, c dict.ID, epoch uint64) bool {
+func (ix *index) add(a, b, c dict.ID, m *mctx) bool {
 	k := pack(a, b)
-	l := ix.leaves[k]
-	if l == nil {
-		l = &postings{epoch: epoch}
-		ix.leaves[k] = l
-		sub := ix.subs[a]
-		if sub == nil {
-			sub = &postings{epoch: epoch}
-			ix.subs[a] = sub
-		} else if sub.epoch != epoch {
-			sub = sub.cloneAt(epoch)
-			ix.subs[a] = sub
-		}
-		sub.add(b)
-	} else if l.epoch != epoch {
-		// Frozen leaf: probe before copying so duplicate inserts — the
-		// common case during saturation rounds — never pay the copy.
+	l, _ := ix.ls.get(k)
+	if l != nil {
 		if l.contains(c) {
+			// Probe before any copying so duplicate inserts — the common
+			// case during saturation rounds — never pay a copy.
 			return false
 		}
-		l = ix.mutable(k, l, epoch)
+		if l.epoch != m.epoch {
+			l = l.cloneAt(m.epoch)
+			m.copied++
+			*ix.ls.upsert(k, m) = l
+		}
+		l.add(c)
+		ix.as.upsert(uint64(a), m).count++
+		return true
+	}
+	l = &postings{epoch: m.epoch}
+	l.add(c)
+	*ix.ls.upsert(k, m) = l
+	e := ix.as.upsert(uint64(a), m)
+	if e.sub == nil {
+		e.sub = &postings{epoch: m.epoch}
+	} else if e.sub.epoch != m.epoch {
+		e.sub = e.sub.cloneAt(m.epoch)
+		m.copied++
+	}
+	e.sub.add(b)
+	e.count++
+	return true
+}
+
+// addFast is the insert path for a store that has never been snapshotted
+// (epoch 0): nothing reachable can be frozen, so the probe-before-copy dance
+// is pointless and the leaf trie is walked exactly once via upsert. This is
+// the bulk-load and saturation path — Materialize builds closures into fresh
+// stores — and the single-walk difference is worth ~20% of saturation time.
+func (ix *index) addFast(a, b, c dict.ID, m *mctx) bool {
+	lp := ix.ls.upsert(pack(a, b), m)
+	l := *lp
+	if l == nil {
+		l = &postings{epoch: m.epoch}
+		l.add(c)
+		*lp = l
+		e := ix.aHint(uint64(a), m)
+		if e.sub == nil {
+			e.sub = &postings{epoch: m.epoch}
+		}
+		e.sub.add(b)
+		e.count++
+		return true
 	}
 	if !l.add(c) {
 		return false
 	}
-	ix.counts[a]++
+	ix.aHint(uint64(a), m).count++
 	return true
 }
 
-func (ix *index) remove(a, b, c dict.ID, epoch uint64) bool {
+func (ix *index) remove(a, b, c dict.ID, m *mctx) bool {
 	k := pack(a, b)
-	l := ix.leaves[k]
-	if l == nil {
+	l, _ := ix.ls.get(k)
+	if l == nil || !l.contains(c) {
 		return false
 	}
-	if l.epoch != epoch {
-		if !l.contains(c) {
-			return false
-		}
-		l = ix.mutable(k, l, epoch)
+	if l.epoch != m.epoch {
+		l = l.cloneAt(m.epoch)
+		m.copied++
+		*ix.ls.upsert(k, m) = l
 	}
-	if !l.remove(c) {
-		return false
-	}
+	l.remove(c)
+	e := ix.as.upsert(uint64(a), m)
+	e.count--
 	if l.size() == 0 {
-		delete(ix.leaves, k)
-		if sub := ix.subs[a]; sub != nil {
-			if sub.epoch != epoch {
-				sub = sub.cloneAt(epoch)
-				ix.subs[a] = sub
-			}
-			sub.remove(b)
-			if sub.size() == 0 {
-				delete(ix.subs, a)
-			}
+		ix.ls.del(k, m)
+		if e.sub.epoch != m.epoch {
+			e.sub = e.sub.cloneAt(m.epoch)
+			m.copied++
 		}
+		e.sub.remove(b)
 	}
-	if n := ix.counts[a] - 1; n == 0 {
-		delete(ix.counts, a)
-	} else {
-		ix.counts[a] = n
+	if e.count == 0 {
+		ix.as.del(uint64(a), m)
 	}
 	return true
 }
 
 // leaf returns the postings for (a,b), or nil.
-func (ix *index) leaf(a, b dict.ID) *postings { return ix.leaves[pack(a, b)] }
-
-// detach returns a copy of the index whose maps are fresh but whose leaves
-// are shared — the O(entries) shallow-copy step a writer pays once per
-// mutation batch after a snapshot was taken. (Leaves stay protected by their
-// epoch stamps; the new maps are what lets the writer insert and delete keys
-// without disturbing snapshot readers of the old maps.)
-func (ix *index) detach() index {
-	c := index{
-		leaves: make(map[uint64]*postings, len(ix.leaves)),
-		subs:   make(map[dict.ID]*postings, len(ix.subs)),
-		counts: make(map[dict.ID]int, len(ix.counts)),
-	}
-	for k, l := range ix.leaves {
-		c.leaves[k] = l
-	}
-	for a, sub := range ix.subs {
-		c.subs[a] = sub
-	}
-	for a, n := range ix.counts {
-		c.counts[a] = n
-	}
-	return c
+func (ix *index) leaf(a, b dict.ID) *postings {
+	l, _ := ix.ls.get(pack(a, b))
+	return l
 }
 
+// leaves returns the number of postings leaves in the index.
+func (ix *index) leaves() int { return ix.ls.len() }
+
+// sortedSub returns the b values of a side-table record in ascending order,
+// synchronising promoted-set rebuilds on the store's sort lock (the same
+// discipline as SortedIDs on leaves).
+func sortedSub(p *postings, sortMu *sync.Mutex) []dict.ID {
+	if p.set == nil {
+		return p.small
+	}
+	sortMu.Lock()
+	ids := p.sortedView()
+	sortMu.Unlock()
+	return ids
+}
+
+// forEachTriple enumerates the index by walking the leaf trie directly —
+// no per-leaf lookups, no locks. The order is the trie's hash order:
+// deterministic for a given index value, but not sorted (the canonical
+// encoder drives its own sorted enumeration off the side tables instead).
+func (ix *index) forEachTriple(fn func(a, b, c dict.ID) bool) bool {
+	return ix.ls.forEach(func(k uint64, l *postings) bool {
+		a, b := dict.ID(k>>32), dict.ID(k)
+		return l.forEach(func(c dict.ID) bool { return fn(a, b, c) })
+	})
+}
+
+// clone deep-copies the index: fresh trie nodes (epoch 0) and duplicated
+// leaves, nothing shared with the receiver.
 func (ix *index) clone() index {
-	c := index{
-		leaves: make(map[uint64]*postings, len(ix.leaves)),
-		subs:   make(map[dict.ID]*postings, len(ix.subs)),
-		counts: make(map[dict.ID]int, len(ix.counts)),
-	}
-	for k, l := range ix.leaves {
-		c.leaves[k] = l.clone()
-	}
-	for a, sub := range ix.subs {
-		c.subs[a] = sub.clone()
-	}
-	for a, n := range ix.counts {
-		c.counts[a] = n
-	}
+	var c index
+	m := &mctx{} // epoch 0: matches a freshly constructed store
+	ix.as.forEach(func(k uint64, e aSub) bool {
+		*c.as.upsert(k, m) = aSub{count: e.count, sub: e.sub.clone()}
+		return true
+	})
+	ix.ls.forEach(func(k uint64, l *postings) bool {
+		*c.ls.upsert(k, m) = l.clone()
+		return true
+	})
 	return c
 }
 
 // tables is the read side of the store: the three indexes plus the triple
 // count. Store embeds it mutably; Snapshot embeds an immutable copy whose
-// maps are never touched again. All read-only methods are defined here so
-// live store and snapshots share one implementation.
+// trie roots are never touched again. All read-only methods are defined here
+// so live store and snapshots share one implementation.
 type tables struct {
 	spo index // (s,p) -> {o}
 	pos index // (p,o) -> {s}
@@ -225,70 +271,56 @@ type tables struct {
 type Store struct {
 	tables
 
-	// epoch is the current mutation epoch. Leaves stamped with an older
-	// epoch are shared with at least one snapshot and must be copied before
-	// mutation; leaves stamped with the current epoch are private to the
-	// writer and mutable in place.
+	// epoch is the current mutation epoch. Trie nodes, entries and leaves
+	// stamped with an older epoch are shared with at least one snapshot and
+	// must be copied before mutation; structures stamped with the current
+	// epoch are private to the writer and mutable in place.
 	epoch uint64
-	// shared is set while the tables' maps are referenced by the most
-	// recent snapshot; the first mutation afterwards detaches (shallow map
-	// copy) and clears it.
+	// shared is set while the tables' trie roots are referenced by the most
+	// recent snapshot; the first mutation afterwards advances the epoch and
+	// clears it, freezing everything the snapshot can reach.
 	shared bool
 	// snap caches the snapshot of the current state, so repeated
 	// Snapshot() calls between mutations are free.
 	snap *Snapshot
+	// copied counts copy-on-write node/entry/leaf copies over the store's
+	// lifetime; see CopiedNodes.
+	copied uint64
 }
 
 // New returns an empty store.
 func New() *Store { return NewWithCapacity(0) }
 
-// NewWithCapacity returns an empty store whose indexes are pre-sized for
-// roughly n triples, avoiding incremental map growth during bulk loads.
+// NewWithCapacity returns an empty store ready for roughly n triples. The
+// persistent-trie indexes grow incrementally, so n only exists for API
+// compatibility with the earlier map-backed layout; it is ignored.
 func NewWithCapacity(n int) *Store {
-	return &Store{
-		tables: tables{
-			spo:    newIndex(n),
-			pos:    newIndex(n),
-			osp:    newIndex(n),
-			sortMu: &sync.Mutex{},
-		},
-	}
+	_ = n
+	return &Store{tables: tables{sortMu: &sync.Mutex{}}}
 }
 
-// Reserve pre-sizes an empty store's indexes for roughly n triples. On a
-// non-empty store it is a no-op (Go maps cannot grow in place without
-// rehashing the contents, and rebuilding would cost more than it saves).
-func (s *Store) Reserve(n int) {
-	if s.size > 0 || n <= 0 {
-		return
-	}
-	// Replacing the maps wholesale is itself a detach: any snapshot keeps
-	// the old (empty) maps.
-	s.spo = newIndex(n)
-	s.pos = newIndex(n)
-	s.osp = newIndex(n)
+// Reserve is a no-op kept for API compatibility: the trie indexes need no
+// pre-sizing (nodes grow by insertion, and there are no hash maps to rehash).
+func (s *Store) Reserve(n int) {}
+
+// CopiedNodes returns the cumulative number of copy-on-write copies (trie
+// nodes, index entries, postings leaves) the store's mutations have paid.
+// Each mutation after a snapshot copies at most one path per index — O(trie
+// depth) structures — never the whole index; the structural-sharing property
+// test pins that bound through this counter.
+func (s *Store) CopiedNodes() uint64 { return s.copied }
+
+// mut readies the store for mutation: it drops the cached snapshot and, when
+// the current state is shared with a live snapshot, advances the epoch so
+// every reachable structure is recognised as frozen and copied on first
+// touch. O(1) — the old map-backed layout paid an O(index-entries) shallow
+// "detach" copy here, which is exactly what the persistent trie removes.
+func (s *Store) mut() {
 	s.snap = nil
 	if s.shared {
 		s.shared = false
 		s.epoch++
 	}
-}
-
-// detach readies the store for mutation: it drops the cached snapshot and,
-// when the maps are shared with a live snapshot, replaces them with shallow
-// copies and advances the epoch so every carried-over leaf is recognised as
-// frozen. Cost: O(total map entries) once per mutation batch following a
-// snapshot, nothing otherwise.
-func (s *Store) detach() {
-	s.snap = nil
-	if !s.shared {
-		return
-	}
-	s.spo = s.spo.detach()
-	s.pos = s.pos.detach()
-	s.osp = s.osp.detach()
-	s.shared = false
-	s.epoch++
 }
 
 // Add inserts the triple and reports whether it was new.
@@ -297,26 +329,36 @@ func (s *Store) Add(t Triple) bool {
 		panic("store: Add of triple with wildcard (None) component")
 	}
 	if s.snap != nil && s.Contains(t) {
-		// No-op mutation: the cached snapshot stays exact, skip the detach.
+		// No-op mutation: the cached snapshot stays exact, skip the epoch roll.
 		return false
 	}
-	s.detach()
-	if !s.spo.add(t.S, t.P, t.O, s.epoch) {
+	s.mut()
+	m := mctx{epoch: s.epoch}
+	if s.epoch == 0 {
+		// Never snapshotted: nothing is frozen, take the single-walk path.
+		if !s.spo.addFast(t.S, t.P, t.O, &m) {
+			return false
+		}
+		s.pos.addFast(t.P, t.O, t.S, &m)
+		s.osp.addFast(t.O, t.S, t.P, &m)
+		s.size++
+		return true
+	}
+	if !s.spo.add(t.S, t.P, t.O, &m) {
+		s.copied += m.copied
 		return false
 	}
-	s.pos.add(t.P, t.O, t.S, s.epoch)
-	s.osp.add(t.O, t.S, t.P, s.epoch)
+	s.pos.add(t.P, t.O, t.S, &m)
+	s.osp.add(t.O, t.S, t.P, &m)
 	s.size++
+	s.copied += m.copied
 	return true
 }
 
-// AddBatch inserts a batch of triples, pre-sizing the indexes when the store
-// is empty, and returns the number that were new. It is the bulk-load entry
-// point for callers that already hold a triple slice; streaming loaders
-// (KB.LoadGraph, Materialize) get the same pre-sizing via Reserve and
-// NewWithCapacity instead.
+// AddBatch inserts a batch of triples and returns the number that were new.
+// It is the bulk-load entry point for callers that already hold a triple
+// slice.
 func (s *Store) AddBatch(ts []Triple) int {
-	s.Reserve(len(ts))
 	added := 0
 	for _, t := range ts {
 		if s.Add(t) {
@@ -333,7 +375,7 @@ const addBatchParallelMin = 256
 
 // AddBatchParallel inserts every triple of the batches (their concatenation,
 // in order) using one writer goroutine per index order: the SPO, POS and OSP
-// maps are disjoint structures, so the three writers never share memory and
+// tries are disjoint structures, so the three writers never share memory and
 // the batch costs one index-build wall-clock instead of three. It returns the
 // number of triples that were new. Duplicate triples — within the batches or
 // against the store — are absorbed index-locally exactly as Add absorbs
@@ -361,14 +403,20 @@ func (s *Store) AddBatchParallel(batches ...[]Triple) int {
 		}
 		return added
 	}
-	s.detach()
+	s.mut()
+	add := (*index).add
+	if s.epoch == 0 {
+		add = (*index).addFast
+	}
 	var wg sync.WaitGroup
 	wg.Add(2)
+	var mPos, mOsp mctx
+	mPos.epoch, mOsp.epoch = s.epoch, s.epoch
 	go func() {
 		defer wg.Done()
 		for _, ts := range batches {
 			for _, t := range ts {
-				s.pos.add(t.P, t.O, t.S, s.epoch)
+				add(&s.pos, t.P, t.O, t.S, &mPos)
 			}
 		}
 	}()
@@ -376,36 +424,41 @@ func (s *Store) AddBatchParallel(batches ...[]Triple) int {
 		defer wg.Done()
 		for _, ts := range batches {
 			for _, t := range ts {
-				s.osp.add(t.O, t.S, t.P, s.epoch)
+				add(&s.osp, t.O, t.S, t.P, &mOsp)
 			}
 		}
 	}()
 	added := 0
+	m := mctx{epoch: s.epoch}
 	for _, ts := range batches {
 		for _, t := range ts {
-			if s.spo.add(t.S, t.P, t.O, s.epoch) {
+			if add(&s.spo, t.S, t.P, t.O, &m) {
 				added++
 			}
 		}
 	}
 	wg.Wait()
 	s.size += added
+	s.copied += m.copied + mPos.copied + mOsp.copied
 	return added
 }
 
 // Remove deletes the triple and reports whether it was present.
 func (s *Store) Remove(t Triple) bool {
 	if s.snap != nil && !s.Contains(t) {
-		// No-op mutation: the cached snapshot stays exact, skip the detach.
+		// No-op mutation: the cached snapshot stays exact, skip the epoch roll.
 		return false
 	}
-	s.detach()
-	if !s.spo.remove(t.S, t.P, t.O, s.epoch) {
+	s.mut()
+	m := mctx{epoch: s.epoch}
+	if !s.spo.remove(t.S, t.P, t.O, &m) {
+		s.copied += m.copied
 		return false
 	}
-	s.pos.remove(t.P, t.O, t.S, s.epoch)
-	s.osp.remove(t.O, t.S, t.P, s.epoch)
+	s.pos.remove(t.P, t.O, t.S, &m)
+	s.osp.remove(t.O, t.S, t.P, &m)
 	s.size--
+	s.copied += m.copied
 	return true
 }
 
@@ -420,7 +473,10 @@ func (t *tables) Len() int { return t.size }
 
 // ForEachMatch calls fn for every triple matching the pattern (None
 // components are wildcards); iteration stops early if fn returns false.
-// The store must not be mutated from inside fn.
+// The store must not be mutated from inside fn. Iteration order is
+// unspecified; full scans are deterministic for a given store state (the
+// leaf trie's structural order), which bulk copies and content hashing
+// rely on. Ordered access goes through SortedIDs/Postings.
 func (t *tables) ForEachMatch(pat Triple, fn func(Triple) bool) {
 	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
 	switch {
@@ -441,36 +497,33 @@ func (t *tables) ForEachMatch(pat Triple, fn func(Triple) bool) {
 			l.forEach(func(p dict.ID) bool { return fn(Triple{pat.S, p, pat.O}) })
 		}
 	case bs: // (s,?,?) via SPO
-		if sub := t.spo.subs[pat.S]; sub != nil {
-			sub.forEach(func(p dict.ID) bool {
+		if e, ok := t.spo.as.get(uint64(pat.S)); ok {
+			e.sub.forEach(func(p dict.ID) bool {
 				return t.spo.leaf(pat.S, p).forEach(func(o dict.ID) bool {
 					return fn(Triple{pat.S, p, o})
 				})
 			})
 		}
 	case bp: // (?,p,?) via POS
-		if sub := t.pos.subs[pat.P]; sub != nil {
-			sub.forEach(func(o dict.ID) bool {
+		if e, ok := t.pos.as.get(uint64(pat.P)); ok {
+			e.sub.forEach(func(o dict.ID) bool {
 				return t.pos.leaf(pat.P, o).forEach(func(subj dict.ID) bool {
 					return fn(Triple{subj, pat.P, o})
 				})
 			})
 		}
 	case bo: // (?,?,o) via OSP
-		if sub := t.osp.subs[pat.O]; sub != nil {
-			sub.forEach(func(subj dict.ID) bool {
+		if e, ok := t.osp.as.get(uint64(pat.O)); ok {
+			e.sub.forEach(func(subj dict.ID) bool {
 				return t.osp.leaf(pat.O, subj).forEach(func(p dict.ID) bool {
 					return fn(Triple{subj, p, pat.O})
 				})
 			})
 		}
-	default: // full scan via SPO packed keys
-		for k, l := range t.spo.leaves {
-			subj, p := dict.ID(k>>32), dict.ID(k)
-			if !l.forEach(func(o dict.ID) bool { return fn(Triple{subj, p, o}) }) {
-				return
-			}
-		}
+	default: // full scan via SPO
+		t.spo.forEachTriple(func(s, p, o dict.ID) bool {
+			return fn(Triple{s, p, o})
+		})
 	}
 }
 
@@ -622,9 +675,10 @@ func (t *tables) Match(pat Triple) []Triple {
 }
 
 // Count returns the exact number of triples matching the pattern. Every
-// shape except the fully-unbound one is O(1): the two-constant shapes read a
-// leaf size, the single-constant shapes read the per-index triple counters.
-// The optimizer leans on this for selectivity estimation.
+// shape except the fully-unbound one costs at most one index lookup: the
+// two-constant shapes read a leaf size, the single-constant shapes read the
+// per-entry triple counters. The optimizer leans on this for selectivity
+// estimation.
 func (t *tables) Count(pat Triple) int {
 	bs, bp, bo := pat.S != dict.None, pat.P != dict.None, pat.O != dict.None
 	switch {
@@ -649,46 +703,53 @@ func (t *tables) Count(pat Triple) int {
 		}
 		return 0
 	case bs:
-		return t.spo.counts[pat.S]
+		if e, ok := t.spo.as.get(uint64(pat.S)); ok {
+			return int(e.count)
+		}
+		return 0
 	case bp:
-		return t.pos.counts[pat.P]
+		if e, ok := t.pos.as.get(uint64(pat.P)); ok {
+			return int(e.count)
+		}
+		return 0
 	case bo:
-		return t.osp.counts[pat.O]
+		if e, ok := t.osp.as.get(uint64(pat.O)); ok {
+			return int(e.count)
+		}
+		return 0
 	default:
 		return t.size
 	}
 }
 
 // Predicates returns the distinct predicate IDs currently used by at least
-// one triple. The reformulation candidate-enumeration step relies on this
-// being the complete property vocabulary of the graph.
+// one triple, in ascending order. The reformulation candidate-enumeration
+// step relies on this being the complete property vocabulary of the graph.
 func (t *tables) Predicates() []dict.ID {
-	out := make([]dict.ID, 0, len(t.pos.counts))
-	for p := range t.pos.counts {
-		out = append(out, p)
-	}
+	out := make([]dict.ID, 0, t.pos.as.len())
+	t.pos.as.forEach(func(k uint64, _ aSub) bool {
+		out = append(out, dict.ID(k))
+		return true
+	})
+	slices.Sort(out)
 	return out
 }
 
 // Objects returns the distinct objects of triples with predicate p (e.g.
-// the classes used in rdf:type triples when p is rdf:type).
+// the classes used in rdf:type triples when p is rdf:type), in ascending
+// order.
 func (t *tables) Objects(p dict.ID) []dict.ID {
-	sub := t.pos.subs[p]
-	if sub == nil {
+	e, ok := t.pos.as.get(uint64(p))
+	if !ok {
 		return nil
 	}
-	out := make([]dict.ID, 0, sub.size())
-	sub.forEach(func(o dict.ID) bool {
-		out = append(out, o)
-		return true
-	})
-	return out
+	return slices.Clone(sortedSub(e.sub, t.sortMu))
 }
 
-// Clone returns a deep copy of the store: every leaf is duplicated, nothing
-// is shared with the receiver or its snapshots. Prefer Snapshot for read
-// isolation — Clone exists for benchmarks and callers that need a second
-// independently mutable store.
+// Clone returns a deep copy of the store: every trie node and leaf is
+// duplicated, nothing is shared with the receiver or its snapshots. Prefer
+// Snapshot for read isolation — Clone exists for benchmarks and callers that
+// need a second independently mutable store.
 func (s *Store) Clone() *Store {
 	return &Store{
 		tables: tables{

@@ -207,7 +207,7 @@ func BenchmarkPersistWALAppend(b *testing.B) {
 // of un-checkpointed history.
 func BenchmarkPersistRecovery(b *testing.B) {
 	f := getPersistFixture(b)
-	for _, records := range []int{0, 64, 512} {
+	for _, records := range []int{0, 64, 512, 4096} {
 		b.Run(fmt.Sprintf("walRecords=%d", records), func(b *testing.B) {
 			// Copy the fixture dir and append `records` batches to its WAL.
 			dir := b.TempDir()

@@ -17,10 +17,12 @@ import (
 // ServerOptions tunes a Server's mutation batching.
 type ServerOptions struct {
 	// FlushEvery is the number of queued mutation calls that forces an
-	// immediate flush. Larger batches amortise the store's copy-on-write
-	// detach and the strategy's snapshot swap across more updates (higher
-	// write throughput, staler reads); smaller batches shorten the window in
-	// which readers see pre-update state. Zero means DefaultFlushEvery.
+	// immediate flush. Taking a snapshot is O(1) on the persistent-trie
+	// index, so batching no longer amortises snapshot cost; larger batches
+	// still amortise WAL record framing and maintenance-round fixed costs
+	// (higher write throughput, staler reads), smaller batches shorten the
+	// window in which readers see pre-update state. Zero means
+	// DefaultFlushEvery.
 	FlushEvery int
 	// FlushInterval bounds how long a queued mutation may wait before it is
 	// applied even when the batch is not full. Zero means
@@ -59,8 +61,8 @@ type ServerOptions struct {
 
 // Default batching parameters: small enough that readers lag writers by
 // worst-case a few milliseconds, large enough that a sustained write stream
-// pays the per-batch snapshot cost a few hundred times less often than a
-// per-call swap would.
+// pays the per-batch WAL and maintenance fixed costs a few hundred times
+// less often than a per-call run would.
 const (
 	DefaultFlushEvery    = 256
 	DefaultFlushInterval = 2 * time.Millisecond
@@ -135,10 +137,14 @@ func (e *OverloadedError) Unwrap() []error { return []error{ErrOverloaded, e.Cau
 //
 // # Snapshot-isolation semantics
 //
-// Every read — a Query call, one execution of a prepared query — evaluates
-// against an immutable snapshot of the strategy's state, taken by the writer
-// after it applies a mutation batch and swapped in atomically. Readers
-// therefore observe:
+// Every read — a Query call, one execution of a prepared query, a session
+// read — pins an immutable snapshot of the strategy's state at read start
+// and evaluates entirely against that exact version. Snapshots are O(1)
+// root-pointer copies of the store's persistent-trie indexes (structural
+// sharing; the writer path-copies only what it touches), so pinning one per
+// read is free and any number of historical versions can stay live while
+// the writer proceeds. The writer swaps the current version in atomically
+// after applying each mutation batch. Readers therefore observe:
 //
 //   - a consistent closure of some prefix of the mutation sequence: all
 //     entailments of exactly the base triples from batches applied so far,
