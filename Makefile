@@ -48,6 +48,11 @@
 #   make bench-replica    replication cost model: follower bootstrap time,
 #                         steady-state per-record lag, promotion downtime
 #                         -> BENCH_replica.json (BENCHTIME=1x in CI)
+#   make bench-obs        observability overhead: instrumented vs bare
+#                         prepared-query path plus the metric-core
+#                         micro-benchmarks -> BENCH_obs.json; fails (exit 2)
+#                         if the instrumented path exceeds 3 allocs/op
+#                         (BENCHTIME=1x for a CI smoke run)
 
 GO ?= go
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
@@ -59,7 +64,7 @@ STORE_SEED ?= 1
 STORE_ROUNDS ?= 1000
 STORE_STEPS ?= 300
 
-.PHONY: test test-race test-chaos test-replica-chaos test-store-stress vet fuzz bench bench-query bench-concurrent bench-persist bench-group bench-replica
+.PHONY: test test-race test-chaos test-replica-chaos test-store-stress vet fuzz bench bench-query bench-concurrent bench-persist bench-group bench-replica bench-obs
 
 test:
 	$(GO) build ./...
@@ -120,3 +125,11 @@ bench-group:
 bench-replica:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplica' -benchtime $(BENCHTIME) -benchmem ./internal/replica/ | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-replica" -out BENCH_replica.json
+
+# The gate needs enough iterations to amortize one-time buffer growth into
+# the steady state, so use an iteration-count BENCHTIME (e.g. 100x) rather
+# than 1x for smoke runs.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchtime $(BENCHTIME) -benchmem . ./internal/obs/ | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)-obs" -out BENCH_obs.json \
+			-gate 'BenchmarkObsPreparedQuery/metrics=on' -max-allocs 3

@@ -7,6 +7,11 @@
 //
 //	go test -run '^$' -bench BenchmarkStore -benchmem ./internal/store/ | \
 //	    go run ./cmd/benchjson -label after-packed-keys
+//
+// Each record is stamped with the short git commit when available. With
+// -gate REGEXP -max-allocs N the tool doubles as a CI budget check: after
+// appending, it exits 2 if any matching benchmark reports more than N
+// allocs/op (or if nothing matched the gate at all).
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -39,19 +46,42 @@ type run struct {
 	Date       string   `json:"date"`
 	Host       string   `json:"host,omitempty"`
 	GoVersion  string   `json:"go_version"`
+	GitCommit  string   `json:"git_commit,omitempty"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Results    []result `json:"results"`
+}
+
+// gitCommit returns the short HEAD hash, best-effort: outside a repo (or
+// without git on PATH) records simply omit the field rather than failing
+// the append.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
 	label := flag.String("label", "", "label describing this run (e.g. before/after)")
 	out := flag.String("out", "BENCH_store.json", "results file to append to (e.g. BENCH_query.json)")
+	gate := flag.String("gate", "", "regexp over benchmark names; matching results are checked against -max-allocs")
+	maxAllocs := flag.Int64("max-allocs", -1, "with -gate: exit 2 (after appending) if any matching result exceeds this allocs/op")
 	flag.Parse()
+	var gateRe *regexp.Regexp
+	if *gate != "" {
+		var err error
+		if gateRe, err = regexp.Compile(*gate); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	r := run{
 		Label:      *label,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
+		GitCommit:  gitCommit(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -91,6 +121,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: appended %d results to %s\n", len(r.Results), *out)
+
+	// The allocation gate runs after the append so the offending record is
+	// preserved for inspection; exit 2 distinguishes "budget exceeded" from
+	// parse/IO failures.
+	if gateRe != nil && *maxAllocs >= 0 {
+		failed := false
+		matched := 0
+		for _, res := range r.Results {
+			if !gateRe.MatchString(res.Name) {
+				continue
+			}
+			matched++
+			if res.AllocsOp > *maxAllocs {
+				fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: %d allocs/op > %d\n", res.Name, res.AllocsOp, *maxAllocs)
+				failed = true
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL: no results matched -gate %q (run with -benchmem?)\n", *gate)
+			failed = true
+		}
+		if failed {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok: %d result(s) within %d allocs/op\n", matched, *maxAllocs)
+	}
 }
 
 // parseLine parses one `go test -bench` result line of the form

@@ -78,14 +78,28 @@ func main() {
 	ckptRecords := flag.Int("checkpoint-records", 0, "checkpoint after this many WAL records (0 = default, negative disables)")
 	follow := flag.String("follow", "", "run as a read-only follower of this primary data directory (-data is the local mirror)")
 	promote := flag.Bool("promote", false, "with -follow: promote to primary when the run ends (failover drill)")
+	admin := flag.String("admin", "", "serve /metrics, /healthz, /debug/slowlog and pprof on this address (e.g. localhost:6060)")
+	slowThreshold := flag.Duration("slow-threshold", 25*time.Millisecond, "queries at least this slow are traced to /debug/slowlog")
+	slowCap := flag.Int("slow-cap", 256, "slow-query traces retained (ring buffer)")
 	flag.Parse()
 	if *batch < 1 {
 		fatalf("-batch must be at least 1")
 	}
 
+	// -admin turns on the whole observability stack: one registry shared by
+	// the server, the persistence layer and (in -follow mode) the replica,
+	// plus a slow-query ring the admin listener exposes and retunes.
+	var reg *webreason.MetricsRegistry
+	var slow *webreason.SlowLog
+	if *admin != "" {
+		reg = webreason.NewMetricsRegistry()
+		slow = webreason.NewSlowLog(*slowCap, *slowThreshold)
+	}
+
 	dbOpts := webreason.DBOptions{
 		CheckpointBytes:   *ckptBytes,
 		CheckpointRecords: *ckptRecords,
+		Obs:               reg,
 	}
 	dbOpts.GroupDelay = *groupDelay
 	switch *syncMode {
@@ -100,7 +114,7 @@ func main() {
 	}
 
 	if *follow != "" {
-		serveFollower(*follow, *dataDir, dbOpts, *strategy, *queryName, *readers, *duration, *promote)
+		serveFollower(*follow, *dataDir, dbOpts, *strategy, *queryName, *readers, *duration, *promote, *admin, reg, slow)
 		return
 	}
 	if *promote {
@@ -170,7 +184,17 @@ func main() {
 		FlushEvery:    *flushEvery,
 		FlushInterval: *flushInterval,
 		DB:            db,
+		Obs:           reg,
+		SlowLog:       slow,
 	})
+	if *admin != "" {
+		hs, bound, err := webreason.ServeAdmin(*admin, srv, reg, slow)
+		if err != nil {
+			fatalf("admin listener: %v", err)
+		}
+		defer hs.Close()
+		fmt.Printf("admin: http://%s/metrics /healthz /debug/slowlog /debug/pprof/\n", bound)
+	}
 	pq, err := srv.Prepare(q)
 	if err != nil {
 		fatalf("preparing %s: %v", *queryName, err)
@@ -326,7 +350,7 @@ func main() {
 // replication lag. With -promote the run ends in a failover drill: the
 // follower is promoted to primary (fencing src), proves it accepts writes,
 // and shuts down cleanly as the new owner of dataDir.
-func serveFollower(src, dataDir string, dbOpts webreason.DBOptions, strategy, queryName string, readers int, duration time.Duration, promote bool) {
+func serveFollower(src, dataDir string, dbOpts webreason.DBOptions, strategy, queryName string, readers int, duration time.Duration, promote bool, admin string, reg *webreason.MetricsRegistry, slow *webreason.SlowLog) {
 	if dataDir == "" {
 		fatalf("-follow requires -data (the follower's local mirror directory)")
 	}
@@ -345,11 +369,20 @@ func serveFollower(src, dataDir string, dbOpts webreason.DBOptions, strategy, qu
 		Dir:      dataDir,
 		Source:   webreason.NewFSFeeder(src),
 		Strategy: strategy,
+		Obs:      reg,
 	})
 	if err != nil {
 		fatalf("starting follower of %s: %v", src, err)
 	}
-	srv := webreason.NewFollowerServer(f, webreason.ServerOptions{})
+	srv := webreason.NewFollowerServer(f, webreason.ServerOptions{Obs: reg, SlowLog: slow})
+	if admin != "" {
+		hs, bound, err := webreason.ServeAdmin(admin, srv, reg, slow)
+		if err != nil {
+			fatalf("admin listener: %v", err)
+		}
+		defer hs.Close()
+		fmt.Printf("admin: http://%s/metrics /healthz /debug/slowlog /debug/pprof/\n", bound)
+	}
 	h := srv.Health()
 	fmt.Printf("following %s into %s: %d triples, applied %s, lag %d bytes (bootstrap %s)\n",
 		src, dataDir, srv.Len(), h.ReplicaApplied, h.ReplicaLagBytes, time.Since(t0).Round(time.Millisecond))

@@ -1,0 +1,134 @@
+// Health() field coverage across the three serving modes the admin
+// /healthz endpoint reports: a healthy durable primary, a primary degraded
+// by an injected fsync failure, and a read-only follower.
+package webreason_test
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	webreason "repro"
+	"repro/internal/faultfs"
+	"repro/internal/persist"
+)
+
+func healthT(i int) webreason.Triple {
+	return webreason.T(
+		webreason.NewIRI("http://h.example.org/s"),
+		webreason.NewIRI("http://h.example.org/p"),
+		webreason.NewIRI("http://h.example.org/o"+string(rune('0'+i))))
+}
+
+func TestHealthPrimaryFields(t *testing.T) {
+	srv, db, _ := newFleetPrimary(t)
+	defer db.Close()
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := srv.Insert(healthT(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := srv.Health()
+	if h.Role != webreason.RolePrimary {
+		t.Fatalf("Role = %s, want primary", h.Role)
+	}
+	if h.Degraded || h.DegradedCause != nil || h.Closed {
+		t.Fatalf("healthy primary reports degraded=%v cause=%v closed=%v", h.Degraded, h.DegradedCause, h.Closed)
+	}
+	if h.Enqueued != 3 || h.Applied != 3 || h.Lag != 0 || h.Pending != 0 {
+		t.Fatalf("watermarks = enqueued %d applied %d lag %d pending %d, want 3/3/0/0",
+			h.Enqueued, h.Applied, h.Lag, h.Pending)
+	}
+	if h.Position.IsZero() {
+		t.Fatal("durable primary Position is zero")
+	}
+	// The three inserts coalesce into one drained batch → one WAL record.
+	if h.WALRecords < 1 || h.WALBytes <= 0 || h.WALChainBytes < h.WALBytes {
+		t.Fatalf("WAL stats = records %d bytes %d chain %d", h.WALRecords, h.WALBytes, h.WALChainBytes)
+	}
+	if h.CheckpointFailures != 0 || h.CheckpointRetryPending || h.GCRemoveFailures != 0 {
+		t.Fatalf("durability trouble on a healthy run: %+v", h)
+	}
+}
+
+func TestHealthDegradedFields(t *testing.T) {
+	// WAL sync #1 is the header during Open; everything after fails — the
+	// first durable batch trips degraded read-only mode.
+	fsys := faultfs.New(faultfs.NewSchedule().FailOpAlways(faultfs.OpSync, "wal-", 2, syscall.EIO))
+	srv, db := newFaultedServer(t, t.TempDir(), fsys,
+		persist.Options{Sync: persist.SyncAlways, CheckpointBytes: -1, CheckpointRecords: -1},
+		webreason.ServerOptions{FlushEvery: 1})
+	defer db.Close()
+	defer srv.Close()
+
+	if err := srv.Insert(healthT(0)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush() // carries the fsync failure; the mode flip is what we assert
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.Health().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered degraded mode")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h := srv.Health()
+	if h.Role != webreason.RolePrimary {
+		t.Fatalf("Role = %s, want primary (degraded, not demoted)", h.Role)
+	}
+	if h.DegradedCause == nil {
+		t.Fatal("Degraded without a DegradedCause")
+	}
+	if h.Closed {
+		t.Fatal("degraded mode reported Closed")
+	}
+}
+
+func TestHealthFollowerFields(t *testing.T) {
+	srv, db, dir := newFleetPrimary(t)
+	defer db.Close()
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := srv.Insert(healthT(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ph := srv.Health()
+
+	fsrv, _ := newFleetFollower(t, dir)
+	defer fsrv.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for fsrv.Health().ReplicaApplied.Compare(ph.Position) < 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up to %s (at %s)", ph.Position, fsrv.Health().ReplicaApplied)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h := fsrv.Health()
+	if h.Role != webreason.RoleFollower {
+		t.Fatalf("Role = %s, want follower", h.Role)
+	}
+	if h.Degraded {
+		t.Fatalf("caught-up follower degraded: %v", h.DegradedCause)
+	}
+	if h.ReplicaApplied.IsZero() {
+		t.Fatal("caught-up follower ReplicaApplied is zero")
+	}
+	// A WAL-run-only bootstrap (no snapshot adopted) leaves the strategy
+	// swap counter at its initial value.
+	if h.ReplicaEpoch != 0 {
+		t.Fatalf("ReplicaEpoch = %d, want 0 for a WAL-run bootstrap", h.ReplicaEpoch)
+	}
+}

@@ -458,6 +458,14 @@ func (r *Reformulation) DurableState() persist.State {
 	}
 }
 
+// RefPlanStats counts reformulation prepared-union lifecycle events:
+// full re-reformulations (rebuild) and cheap branch-level rebinds. Exposed
+// by the server's metrics registry alongside engine.PlanStats.
+var RefPlanStats struct {
+	Rebuilt atomic.Uint64
+	Rebound atomic.Uint64
+}
+
 type refPrepared struct {
 	r    *Reformulation
 	q    *sparql.Query
@@ -475,6 +483,7 @@ func (pq *refPrepared) Query() *sparql.Query { return pq.q }
 // execution, whereas stamping the newer one would mark growth we never saw
 // as already-handled and skip a required rebuild forever.
 func (pq *refPrepared) rebuild(st *refState) error {
+	RefPlanStats.Rebuilt.Add(1)
 	dver := pq.r.kb.dict.Version()
 	ucq, err := reformulate.Reformulate(pq.q, st.sch, pq.r.kb.dict, st.src, pq.r.opt)
 	if err != nil {
@@ -500,6 +509,7 @@ func (pq *refPrepared) revalidate() error {
 		return nil
 	}
 	if dver == pq.dver && st.schemaGen == pq.st.schemaGen && !pq.pu.VocabDependent() {
+		RefPlanStats.Rebound.Add(1)
 		pq.pu.Rebind(st.src)
 		pq.st = st
 		return nil

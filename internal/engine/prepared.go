@@ -2,6 +2,7 @@ package engine
 
 import (
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/rdf"
@@ -111,6 +112,16 @@ func Prepare(src Source, patterns []rdf.Triple, d *dict.Dict) (*Prepared, error)
 // no allocation churn beyond the step table), so the factor errs small.
 const replanDrift = 2
 
+// PlanStats counts prepared-plan lifecycle events across the process:
+// full compilations, statistics-only replans, and source rebinds. The
+// counters are package-level atomics so the hot paths pay one uncontended
+// RMW and no plumbing; the server exposes them via its metrics registry.
+var PlanStats struct {
+	Compiled  atomic.Uint64
+	Replanned atomic.Uint64
+	Rebound   atomic.Uint64
+}
+
 // refresh recompiles and replans when the dictionary has grown since the
 // last compilation, and replans (statistics only) when the source size has
 // drifted more than replanDrift× since the plan was computed; otherwise it
@@ -127,6 +138,7 @@ func (p *Prepared) refresh() error {
 	if err != nil {
 		return err
 	}
+	PlanStats.Compiled.Add(1)
 	p.c = c
 	p.version = v
 	p.replan()
@@ -140,6 +152,7 @@ func (p *Prepared) refresh() error {
 // replan recomputes the join order and step table against the source's
 // current statistics, recording the size the optimizer saw.
 func (p *Prepared) replan() {
+	PlanStats.Replanned.Add(1)
 	p.planSize = p.src.Count(store.Triple{})
 	p.planSteps = p.c.plan(p.src)
 	p.buildSteps()
@@ -158,6 +171,7 @@ func (p *Prepared) Rebind(src Source) {
 	if src == p.src {
 		return
 	}
+	PlanStats.Rebound.Add(1)
 	hadSorted := p.ss != nil
 	p.src = src
 	p.ss, _ = src.(SortedSource)

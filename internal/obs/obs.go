@@ -1,0 +1,482 @@
+// Package obs is the dependency-free observability core of the serving
+// stack: atomic counters and gauges, bounded-error log-bucketed latency
+// histograms with a lock-free allocation-free Observe, and a named registry
+// of labeled metric families rendered in the Prometheus text exposition
+// format. A structured slow-query trace log (slowlog.go) rides on the same
+// package.
+//
+// The design contract is "zero cost when disabled, nanoseconds when
+// enabled": every primitive is safe to call through a nil receiver (a no-op
+// after one predictable branch), so instrumented hot paths hold plain
+// pointer fields that are simply left nil when observability is off. When
+// enabled, Counter.Add and Histogram.Observe are single atomic RMW
+// operations on pre-allocated memory — no locks, no allocation, safe from
+// any number of goroutines — which is what lets the server instrument its
+// prepared-query path without leaving the 3-allocs/op steady state.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric (events, rejections, bytes).
+// The zero value is ready to use; a nil Counter discards Adds.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n (callers pass non-negative deltas).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (queue depth, lag). The zero
+// value is ready; a nil Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket geometry: values 0..3 get exact buckets; every larger
+// value lands in one of four sub-buckets per power of two, so the bucket
+// holding v is at most 25% wide relative to v (bounded relative error).
+// 64-bit values need 4*(63-2) + 4 = 248 buckets, a fixed array — Observe
+// never allocates, never locks, and never loses a sample.
+const histBuckets = 248
+
+// bucketIdx maps a non-negative value to its bucket index.
+func bucketIdx(v int64) int {
+	if v < 4 {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1    // 2..62
+	sub := (uint64(v) >> (exp - 2)) & 3 // 0..3
+	return 4*(exp-2) + int(sub) + 4
+}
+
+// bucketUpper returns the inclusive upper bound of bucket idx.
+func bucketUpper(idx int) int64 {
+	if idx < 4 {
+		return int64(idx)
+	}
+	exp := (idx-4)/4 + 2
+	sub := int64((idx - 4) % 4)
+	return (5+sub)<<(exp-2) - 1
+}
+
+// Histogram is a lock-free log-bucketed distribution of int64 samples
+// (latencies in nanoseconds, batch sizes, coalesce counts). Observe is one
+// atomic add on a pre-sized bucket array — 0 allocs, safe for any number of
+// concurrent observers; relative bucket-width error is bounded at 25%.
+// A nil Histogram discards observations.
+type Histogram struct {
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+	// scale converts raw sample units to exposition units (1e-9 renders
+	// nanosecond samples as Prometheus seconds; 1 keeps counts as counts).
+	scale float64
+}
+
+// Observe records one sample. Negative samples clamp to 0. The total count
+// is derived from the buckets at read time, so the hot path is exactly two
+// atomic adds.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIdx(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed time since t0 in nanoseconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
+}
+
+// Count returns the number of samples observed (0 on nil), summed over the
+// buckets.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := 0; i < histBuckets; i++ {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all samples in raw units (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1) in
+// raw units: the inclusive upper edge of the bucket where the cumulative
+// count crosses q. Within 25% of the true value by the bucket geometry.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// metricKind discriminates exposition rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one registered series: a family name plus one label set.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string // alternating key, value
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// Registry is a named collection of metric families. Registration is
+// idempotent per (name, labels): asking for an existing counter, gauge or
+// histogram returns the already-registered instance (so components opened
+// repeatedly against one registry share series), while Func/CounterFunc
+// registrations replace a previous function of the same identity (so a
+// reopened component's gauges read the live instance, not a closed one).
+// Registration takes a lock; the returned handles are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// validateLabels panics on malformed label lists — registration happens at
+// component construction, where a panic is an immediate programming-error
+// signal, not a runtime hazard.
+func validateLabels(name string, labels []string) {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s: odd label list %v (want key,value pairs)", name, labels))
+	}
+}
+
+func labelsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// find returns the registered metric with this identity, if any. Caller
+// holds r.mu.
+func (r *Registry) find(name string, labels []string) *metric {
+	for _, m := range r.metrics {
+		if m.name == name && labelsEqual(m.labels, labels) {
+			return m
+		}
+	}
+	return nil
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	validateLabels(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.find(name, labels); m != nil {
+		if m.kind != kindCounter {
+			panic(fmt.Sprintf("obs: metric %s registered twice with different types", name))
+		}
+		return m.c
+	}
+	c := &Counter{}
+	r.metrics = append(r.metrics, &metric{name: name, help: help, kind: kindCounter, labels: labels, c: c})
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	validateLabels(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.find(name, labels); m != nil {
+		if m.kind != kindGauge {
+			panic(fmt.Sprintf("obs: metric %s registered twice with different types", name))
+		}
+		return m.g
+	}
+	g := &Gauge{}
+	r.metrics = append(r.metrics, &metric{name: name, help: help, kind: kindGauge, labels: labels, g: g})
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram series. scale
+// converts raw sample units to exposition units: 1e-9 for nanosecond
+// latencies rendered as Prometheus seconds, 1 for dimensionless counts.
+func (r *Registry) Histogram(name, help string, scale float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	validateLabels(name, labels)
+	if scale <= 0 {
+		scale = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.find(name, labels); m != nil {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %s registered twice with different types", name))
+		}
+		return m.h
+	}
+	h := &Histogram{scale: scale}
+	r.metrics = append(r.metrics, &metric{name: name, help: help, kind: kindHistogram, labels: labels, h: h})
+	return h
+}
+
+// Func registers a gauge whose value is read from fn at exposition time
+// (queue depths, lag — state something else already tracks). A Func with the
+// same name and labels replaces the previous one.
+func (r *Registry) Func(name, help string, fn func() float64, labels ...string) {
+	r.registerFunc(name, help, kindGaugeFunc, fn, labels)
+}
+
+// CounterFunc is Func with counter exposition semantics, for cumulative
+// totals tracked elsewhere (atomic package counters, DB stats).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.registerFunc(name, help, kindCounterFunc, fn, labels)
+}
+
+func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() float64, labels []string) {
+	if r == nil {
+		return
+	}
+	validateLabels(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.find(name, labels); m != nil {
+		if m.kind != kindCounterFunc && m.kind != kindGaugeFunc {
+			panic(fmt.Sprintf("obs: metric %s registered twice with different types", name))
+		}
+		m.kind = kind
+		m.help = help
+		m.fn = fn
+		return
+	}
+	r.metrics = append(r.metrics, &metric{name: name, help: help, kind: kind, labels: labels, fn: fn})
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelString renders {k="v",...}; extra appends one more pair (histogram
+// le). Empty when there are no labels at all.
+func labelString(labels []string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, labels[i], escapeLabel(labels[i+1]))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value without exponent noise for integers.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), grouped by family with one HELP/TYPE
+// header each, families sorted by name. Histograms emit cumulative
+// non-empty buckets plus +Inf, _sum and _count, with bucket bounds and sums
+// scaled by the histogram's registered scale.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	var b strings.Builder
+	prev := ""
+	for _, m := range ms {
+		if m.name != prev {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind.promType())
+			prev = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, labelString(m.labels, "", ""), m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, labelString(m.labels, "", ""), m.g.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, labelString(m.labels, "", ""), formatFloat(m.fn()))
+		case kindHistogram:
+			writeHistogram(&b, m)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits one histogram series: cumulative occupied buckets
+// (le = scaled inclusive upper bound), +Inf, _sum, _count.
+func writeHistogram(b *strings.Builder, m *metric) {
+	h := m.h
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := formatFloat(float64(bucketUpper(i)) * h.scale)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", m.name, labelString(m.labels, "le", le), cum)
+	}
+	// +Inf and _count reuse the cumulative bucket total, so the exposition
+	// is internally consistent even while observers race the scrape.
+	fmt.Fprintf(b, "%s_bucket%s %d\n", m.name, labelString(m.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", m.name, labelString(m.labels, "", ""), formatFloat(float64(h.Sum())*h.scale))
+	fmt.Fprintf(b, "%s_count%s %d\n", m.name, labelString(m.labels, "", ""), cum)
+}

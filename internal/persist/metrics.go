@@ -1,0 +1,96 @@
+package persist
+
+import "repro/internal/obs"
+
+// dbMetrics is the durability layer's instrumentation surface: nil-safe obs
+// handles observed on the WAL append, group-commit, checkpoint and recovery
+// paths. Disabled (all-nil, on=false) without Options.Obs, in which case the
+// instrumented paths pay one branch and skip the clock reads entirely.
+type dbMetrics struct {
+	on bool
+
+	appendLatency  *obs.Histogram // whole AppendAck call, ns
+	fsyncLatency   *obs.Histogram // each WAL fsync (inline, group, rotation), ns
+	groupCoalesce  *obs.Histogram // records covered per group fsync
+	ckptDuration   *obs.Histogram // successful checkpoint snapshot writes, ns
+	replayDuration *obs.Histogram // ReplayTail recovery replays, ns
+	rotations      *obs.Counter
+	replayRecords  *obs.Counter
+}
+
+func newDBMetrics(reg *obs.Registry) dbMetrics {
+	if reg == nil {
+		return dbMetrics{}
+	}
+	return dbMetrics{
+		on: true,
+		appendLatency: reg.Histogram("persist_wal_append_seconds",
+			"WAL append latency (write + inline fsync under SyncAlways).", 1e-9),
+		fsyncLatency: reg.Histogram("persist_wal_fsync_seconds",
+			"WAL fsync latency (inline, group-commit and rotation fsyncs).", 1e-9),
+		groupCoalesce: reg.Histogram("persist_group_coalesced_records",
+			"Records covered by one group-commit fsync.", 1),
+		ckptDuration: reg.Histogram("persist_checkpoint_seconds",
+			"Duration of successful checkpoint snapshot writes.", 1e-9),
+		replayDuration: reg.Histogram("persist_recovery_replay_seconds",
+			"Duration of WAL-tail replays through the strategy.", 1e-9),
+		rotations: reg.Counter("persist_wal_rotations_total",
+			"WAL generation rotations (checkpoint boundaries)."),
+		replayRecords: reg.Counter("persist_recovery_replayed_records_total",
+			"WAL records replayed during recovery and catch-up."),
+	}
+}
+
+// registerDBFuncs exposes the DB's durability state as exposition-time
+// gauges. Func registration replaces by identity, so the DB a promotion
+// opens against the same registry takes over the series from the retired
+// follower mirror.
+func registerDBFuncs(reg *obs.Registry, db *DB) {
+	if reg == nil {
+		return
+	}
+	reg.Func("persist_wal_bytes",
+		"Active WAL generation size in bytes.",
+		func() float64 {
+			db.mu.Lock()
+			defer db.mu.Unlock()
+			return float64(db.walSize)
+		})
+	reg.Func("persist_wal_chain_bytes",
+		"Bytes across every live WAL generation (the next recovery's replay debt).",
+		func() float64 {
+			db.mu.Lock()
+			defer db.mu.Unlock()
+			return float64(db.chainBytes)
+		})
+	reg.Func("persist_wal_records",
+		"Records in the active WAL generation.",
+		func() float64 {
+			db.mu.Lock()
+			defer db.mu.Unlock()
+			return float64(db.walRecords)
+		})
+	reg.Func("persist_wal_generation",
+		"Active WAL generation number.",
+		func() float64 {
+			db.mu.Lock()
+			defer db.mu.Unlock()
+			return float64(db.gen)
+		})
+	reg.CounterFunc("persist_checkpoint_failures_total",
+		"Failed checkpoint attempts (each schedules a backoff retry).",
+		func() float64 { return float64(db.ckptFails.Load()) })
+	reg.Func("persist_checkpoint_retry_pending",
+		"1 while a failed checkpoint's backoff retry is scheduled.",
+		func() float64 {
+			db.bgMu.Lock()
+			defer db.bgMu.Unlock()
+			if db.retryPending {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("persist_gc_remove_failures_total",
+		"Superseded-generation files whose removal failed.",
+		func() float64 { return float64(db.gcFails.Load()) })
+}

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -118,6 +119,11 @@ type Options struct {
 	// Independently of this field, a TERM fence file outranking the chain's
 	// term always refuses the open with ErrFenced; see WriteFence.
 	Term uint64
+	// Obs, when set, enables durability telemetry: WAL append and fsync
+	// latency, group-commit coalesce counts, checkpoint duration and
+	// failures, recovery replay time, plus exposition-time gauges over the
+	// chain state. Nil keeps every path at its uninstrumented cost.
+	Obs *obs.Registry
 }
 
 // Default checkpoint thresholds. Recovery replays the WAL tail through the
@@ -241,6 +247,10 @@ type DB struct {
 
 	ckptFails atomic.Int64 // cumulative failed checkpoint attempts
 	gcFails   atomic.Int64 // cumulative failed superseded-file removals
+
+	// om is the instrumentation surface (disabled zero value without
+	// Options.Obs).
+	om dbMetrics
 }
 
 // Open opens (creating if needed) the data directory and recovers its state:
@@ -309,6 +319,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 
 	db := &DB{dir: dir, opts: opts, fs: opts.FS, gen: 1, lock: lock}
+	db.om = newDBMetrics(opts.Obs)
 	activeRecords := 0
 	chainBytes := int64(0) // bytes of live non-active WAL generations
 
@@ -445,6 +456,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		db.syncWg.Add(1)
 		go db.syncer()
 	}
+	registerDBFuncs(opts.Obs, db)
 	opened = true
 	return db, nil
 }
@@ -518,7 +530,16 @@ func (db *DB) TailLen() int { return len(db.tail) }
 // boundaries. It returns the number of records replayed. The tail is
 // consumed.
 func (db *DB) ReplayTail(insert, del func(...rdf.Triple) error) (int, error) {
-	return replayMutations(db.tail, insert, del, func() { db.tail = nil })
+	var t0 time.Time
+	if db.om.on {
+		t0 = time.Now()
+	}
+	n, err := replayMutations(db.tail, insert, del, func() { db.tail = nil })
+	if db.om.on {
+		db.om.replayDuration.ObserveSince(t0)
+		db.om.replayRecords.Add(uint64(n))
+	}
+	return n, err
 }
 
 // replayMutations is ReplayTail's coalescing engine, shared with follower
@@ -596,6 +617,10 @@ func (db *DB) Append(del bool, ts []rdf.Triple) error {
 // contract. ack must be cheap and non-blocking: it runs on the appender
 // (inline policies) or the syncer goroutine (SyncGroup).
 func (db *DB) AppendAck(del bool, ts []rdf.Triple, ack func(error)) error {
+	var t0 time.Time
+	if db.om.on {
+		t0 = time.Now()
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -642,7 +667,14 @@ func (db *DB) AppendAck(del bool, ts []rdf.Triple, ack func(error)) error {
 	db.walRecords++
 	switch db.opts.Sync {
 	case SyncAlways:
+		var s0 time.Time
+		if db.om.on {
+			s0 = time.Now()
+		}
 		err := db.wal.Sync()
+		if db.om.on {
+			db.om.fsyncLatency.ObserveSince(s0)
+		}
 		if err != nil && db.groupErr == nil {
 			// Same hazard as a failed group fsync: the kernel may drop the
 			// dirty pages and clear the error, so a later fsync could
@@ -670,7 +702,13 @@ func (db *DB) AppendAck(del bool, ts []rdf.Triple, ack func(error)) error {
 		case db.syncKick <- struct{}{}:
 		default:
 		}
+		if db.om.on {
+			db.om.appendLatency.ObserveSince(t0)
+		}
 		return nil
+	}
+	if db.om.on {
+		db.om.appendLatency.ObserveSince(t0)
 	}
 	if ack != nil {
 		ack(nil)
@@ -753,7 +791,15 @@ func (db *DB) groupFlush() {
 	// rotation, which will fail the same way.
 	var err error
 	if !closed {
+		var s0 time.Time
+		if db.om.on {
+			s0 = time.Now()
+		}
 		err = f.Sync()
+		if db.om.on {
+			db.om.fsyncLatency.ObserveSince(s0)
+			db.om.groupCoalesce.Observe(int64(covered))
+		}
 	}
 	if err != nil {
 		// The failure must outlive this flush even when no ack carries it
@@ -928,7 +974,15 @@ func (db *DB) rotate() (uint64, error) {
 		fireAcks(acks, err)
 		return 0, err
 	}
-	if err := db.wal.Sync(); err != nil {
+	var s0 time.Time
+	if db.om.on {
+		s0 = time.Now()
+	}
+	serr := db.wal.Sync()
+	if db.om.on {
+		db.om.fsyncLatency.ObserveSince(s0)
+	}
+	if err := serr; err != nil {
 		// Same durability hole as a failed group fsync: pre-rotation pages
 		// may be dropped while the kernel clears the error state, so a
 		// later fsync could "succeed" past them. Sticky — no append after
@@ -956,6 +1010,7 @@ func (db *DB) rotate() (uint64, error) {
 	db.chainBytes += db.walSize // the fresh generation's header joins the chain
 	gen := db.gen
 	db.mu.Unlock()
+	db.om.rotations.Inc()
 	fireAcks(acks, nil)
 	return gen, nil
 }
@@ -971,9 +1026,16 @@ func fireAcks(acks []func(error), err error) {
 // generations it supersedes, and clears any pending retry state — the
 // durable history is checkpointed again, whatever earlier attempts failed.
 func (db *DB) writeCheckpoint(gen uint64, st State) error {
+	var t0 time.Time
+	if db.om.on {
+		t0 = time.Now()
+	}
 	if err := writeSnapshotFile(db.fs, db.dir, gen, db.term, st); err != nil {
 		return err
 	}
+	// Failed attempts are visible through persist_checkpoint_failures_total;
+	// the duration histogram records completed snapshot writes only.
+	db.om.ckptDuration.ObserveSince(t0)
 	db.removeBelow(gen)
 	db.mu.Lock()
 	// The live chain is now exactly the active generation (gen's WAL);

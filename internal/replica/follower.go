@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
@@ -37,6 +38,9 @@ type Config struct {
 	Strategy string
 	// Poll is the source polling interval; 0 means DefaultPoll.
 	Poll time.Duration
+	// Obs, when set, enables replication telemetry: bootstrap and promotion
+	// timing, shipped-record counts, and lag/epoch gauges. Nil disables it.
+	Obs *obs.Registry
 }
 
 // Status is a point-in-time view of a follower's replication state.
@@ -96,6 +100,10 @@ type Follower struct {
 	done     chan struct{}
 	wg       sync.WaitGroup
 	loopDone bool
+
+	// om is the instrumentation surface (disabled zero value without
+	// Config.Obs).
+	om repMetrics
 }
 
 // Start opens (or recovers) the local mirror, seeds the serving strategy
@@ -112,11 +120,16 @@ func Start(cfg Config) (*Follower, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = DefaultPoll
 	}
+	om := newRepMetrics(cfg.Obs)
+	var t0 time.Time
+	if om.on {
+		t0 = time.Now()
+	}
 	m, err := persist.OpenMirror(cfg.Dir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
-	f := &Follower{cfg: cfg, name: cfg.Strategy, mirror: m, done: make(chan struct{})}
+	f := &Follower{cfg: cfg, name: cfg.Strategy, mirror: m, done: make(chan struct{}), om: om}
 	f.cond = sync.NewCond(&f.mu)
 	// Seed the strategy from the local mirror: snapshot state if present,
 	// then the locally recovered WAL tail through the normal mutation path.
@@ -143,6 +156,10 @@ func Start(cfg Config) (*Follower, error) {
 		m.Close()
 		return nil, err
 	}
+	if om.on {
+		om.bootstrapDuration.ObserveSince(t0)
+	}
+	registerFollowerFuncs(cfg.Obs, f)
 	f.wg.Add(1)
 	go f.run()
 	return f, nil
@@ -427,6 +444,7 @@ func (f *Follower) fetchWAL(gen uint64, off int64) (bool, error) {
 	if _, err := persist.ReplayBatch(recs, f.strat.Insert, f.strat.Delete); err != nil {
 		return false, err
 	}
+	f.om.shippedRecords.Add(uint64(len(recs)))
 	pos := f.mirror.Pos()
 	f.mu.Lock()
 	f.applied = pos
@@ -454,6 +472,7 @@ func (f *Follower) bootstrap(snap uint64) error {
 	if err != nil {
 		return err
 	}
+	f.om.bootstraps.Inc()
 	f.mu.Lock()
 	f.kb, f.strat = kb, strat
 	f.epoch++
@@ -528,6 +547,10 @@ type PromoteOptions struct {
 // Promotion fails if the follower already adopted a term that fences it (a
 // different follower was promoted first and this one saw the fence).
 func (f *Follower) Promote(opts PromoteOptions) (*persist.DB, *core.KB, core.Strategy, error) {
+	var t0 time.Time
+	if f.om.on {
+		t0 = time.Now()
+	}
 	f.lifeMu.Lock()
 	defer f.lifeMu.Unlock()
 	f.stopLoop()
@@ -564,5 +587,9 @@ func (f *Follower) Promote(opts PromoteOptions) (*persist.DB, *core.KB, core.Str
 	f.applied = db.TipPos()
 	f.cond.Broadcast()
 	f.mu.Unlock()
+	if f.om.on {
+		f.om.promoteDuration.ObserveSince(t0)
+		f.om.promotions.Inc()
+	}
 	return db, kb, strat, nil
 }

@@ -1,0 +1,52 @@
+package replica
+
+import "repro/internal/obs"
+
+// repMetrics is the replication layer's instrumentation surface: nil-safe
+// obs handles observed on the bootstrap, shipping and promotion paths.
+// Disabled (all-nil, on=false) without Config.Obs.
+type repMetrics struct {
+	on bool
+
+	bootstrapDuration *obs.Histogram // Start: mirror open + seed + first round, ns
+	promoteDuration   *obs.Histogram // Promote: stop + fence + reopen, ns
+	bootstraps        *obs.Counter   // snapshot adoptions that swapped the strategy
+	shippedRecords    *obs.Counter   // WAL records shipped and applied
+	promotions        *obs.Counter
+}
+
+func newRepMetrics(reg *obs.Registry) repMetrics {
+	if reg == nil {
+		return repMetrics{}
+	}
+	return repMetrics{
+		on: true,
+		bootstrapDuration: reg.Histogram("replica_bootstrap_seconds",
+			"Follower start-up time: mirror recovery, strategy seed, first shipping round.", 1e-9),
+		promoteDuration: reg.Histogram("replica_promote_seconds",
+			"Failover promotion time: stop replication, fence, reopen writable.", 1e-9),
+		bootstraps: reg.Counter("replica_bootstraps_total",
+			"Snapshot adoptions that swapped the serving strategy (values past 1 are gap re-bootstraps)."),
+		shippedRecords: reg.Counter("replica_shipped_records_total",
+			"WAL records shipped from the source and applied."),
+		promotions: reg.Counter("replica_promotions_total",
+			"Completed follower-to-primary promotions."),
+	}
+}
+
+// registerFollowerFuncs exposes the follower's replication state as
+// exposition-time gauges read from Status().
+func registerFollowerFuncs(reg *obs.Registry, f *Follower) {
+	if reg == nil {
+		return
+	}
+	reg.Func("replica_lag_bytes",
+		"Chain bytes the source held beyond the applied position at the last poll.",
+		func() float64 { return float64(f.Status().LagBytes) })
+	reg.Func("replica_lag_records",
+		"Estimated records behind the source (-1 with no applied history to scale by).",
+		func() float64 { return float64(f.Status().LagRecords) })
+	reg.Func("replica_epoch",
+		"Strategy-swap counter (bootstraps and gap re-bootstraps).",
+		func() float64 { return float64(f.Status().Epoch) })
+}

@@ -129,6 +129,8 @@ func NewFollowerServer(f *Follower, opts ServerOptions) *Server {
 		done:     make(chan struct{}),
 	}
 	srv.role.Store(int32(RoleFollower))
+	srv.om = newServerMetrics(opts.Obs, opts.SlowLog, f.Strategy().Name())
+	registerServerFuncs(opts.Obs, srv)
 	srv.cond = sync.NewCond(&srv.mu)
 	// The timers exist (Promote's writer loop selects on them) but stay
 	// disarmed: a follower has no mutation queue to flush or checkpoint.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/replica"
 )
@@ -57,6 +58,17 @@ type ServerOptions struct {
 	// WAL is non-empty (used by crash-simulation tests; production servers
 	// want the faster next boot).
 	NoFinalCheckpoint bool
+	// Obs, when set, enables runtime telemetry: the server registers its
+	// metric families (query latency by strategy, enqueue/apply latency,
+	// batch size, queue depth, watermark lag, rejection counters, session
+	// RYW wait) against the registry and observes them on every hot path.
+	// Instrumentation is lock-free and allocation-free (see internal/obs);
+	// nil keeps the paths at their uninstrumented cost exactly.
+	Obs *obs.Registry
+	// SlowLog, when set alongside Obs, receives a structured QueryTrace for
+	// every read at or above the log's threshold (strategy, plan-cache
+	// hit/miss, rows, duration, query text). Ignored without Obs.
+	SlowLog *obs.SlowLog
 }
 
 // Default batching parameters: small enough that readers lag writers by
@@ -263,6 +275,9 @@ type Server struct {
 	role atomic.Int32
 	// ownDB marks a DB the server opened itself (promotion) and must close.
 	ownDB bool
+	// om is the instrumentation surface (disabled zero value without
+	// ServerOptions.Obs); by value so hot paths dereference no extra pointer.
+	om serverMetrics
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled when applied advances
@@ -329,6 +344,8 @@ func NewServer(s Strategy, opts ServerOptions) *Server {
 			srv.durable = ds
 		}
 	}
+	srv.om = newServerMetrics(opts.Obs, opts.SlowLog, s.Name())
+	registerServerFuncs(opts.Obs, srv)
 	srv.cond = sync.NewCond(&srv.mu)
 	srv.flushTimer = time.NewTimer(time.Hour)
 	srv.flushTimer.Stop()
@@ -347,10 +364,32 @@ func (s *Server) Strategy() Strategy { return s.reading() }
 
 // Query answers q against the current snapshot; safe for any number of
 // concurrent callers.
-func (s *Server) Query(q *Query) (*engine.Result, error) { return s.reading().Answer(q) }
+func (s *Server) Query(q *Query) (*engine.Result, error) {
+	strat := s.reading()
+	if !s.om.on {
+		return strat.Answer(q)
+	}
+	t0 := monoNow()
+	res, err := strat.Answer(q)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	s.om.noteQuery(q, false, false, monoNow()-t0, rows, err)
+	return res, err
+}
 
 // Ask reports whether q has any answer against the current snapshot.
-func (s *Server) Ask(q *Query) (bool, error) { return s.reading().Ask(q) }
+func (s *Server) Ask(q *Query) (bool, error) {
+	strat := s.reading()
+	if !s.om.on {
+		return strat.Ask(q)
+	}
+	t0 := monoNow()
+	ok, err := strat.Ask(q)
+	s.om.noteQuery(q, false, false, monoNow()-t0, 0, err)
+	return ok, err
+}
 
 // Insert validates the triples and enqueues their assertion, returning
 // before the batch is applied (see the staleness note in the type doc).
@@ -459,16 +498,25 @@ func (s *Server) enqueue(ctx context.Context, del bool, ts []Triple, ack func(er
 			})
 			defer stop()
 		}
+		var waitStart time.Time
+		if s.om.on {
+			waitStart = time.Now()
+		}
 		for s.opts.MaxPending > 0 && len(s.queue) >= s.opts.MaxPending && !s.closed && s.durErr == nil {
 			if err := ctx.Err(); err != nil {
 				depth := len(s.queue)
 				s.mu.Unlock()
+				s.om.rejectedOverloaded.Inc()
+				s.om.enqueueWait.ObserveSince(waitStart)
 				return 0, &OverloadedError{Pending: depth, Cause: err}
 			}
 			// Wake the writer and wait for it to drain. nudge is a
 			// non-blocking send, safe while holding mu.
 			s.nudge()
 			s.cond.Wait()
+		}
+		if s.om.on {
+			s.om.enqueueWait.Observe(time.Since(waitStart).Nanoseconds())
 		}
 	}
 	if s.closed {
@@ -478,6 +526,7 @@ func (s *Server) enqueue(ctx context.Context, del bool, ts []Triple, ack func(er
 	if s.durErr != nil {
 		err := s.durErr
 		s.mu.Unlock()
+		s.om.rejectedDegraded.Inc()
 		return 0, wrapDegraded(err)
 	}
 	s.queue = append(s.queue, m)
@@ -517,6 +566,12 @@ func (s *Server) waitApplied(ctx context.Context, seq uint64) error {
 	}
 	if s.applied.Load() >= seq {
 		return nil
+	}
+	// Slow path: the session actually waits. The defer's closure allocation
+	// is acceptable here — the caller is about to block on the writer.
+	if s.om.on {
+		t0 := time.Now()
+		defer func() { s.om.sessionWait.ObserveSince(t0) }()
 	}
 	if ctx.Done() != nil {
 		stop := context.AfterFunc(ctx, func() {
@@ -974,6 +1029,10 @@ func (s *Server) apply() {
 	if len(batch) == 0 {
 		return
 	}
+	var applyStart time.Time
+	if s.om.on {
+		applyStart = time.Now()
+	}
 	// firstRefused is the batch index of the first mutation call this round
 	// refused to apply (durability failure), -1 if none: it pins divergedAt,
 	// the seq where session read-your-writes guarantees stop being served.
@@ -1087,6 +1146,10 @@ func (s *Server) apply() {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if s.om.on {
+		s.om.applyLatency.ObserveSince(applyStart)
+		s.om.batchSize.Observe(int64(len(batch)))
+	}
 }
 
 // Len returns the strategy's physical size as of the current snapshot.
@@ -1108,7 +1171,7 @@ func (s *Server) Prepare(q *Query) (*ServerPrepared, error) {
 		return nil, err
 	}
 	sp := &ServerPrepared{s: s, q: q}
-	sp.pool.Put(preparedEntry{pq: pq, epoch: epoch})
+	sp.pool.Put(&preparedEntry{pq: pq, epoch: epoch})
 	return sp, nil
 }
 
@@ -1118,7 +1181,7 @@ func (s *Server) Prepare(q *Query) (*ServerPrepared, error) {
 type ServerPrepared struct {
 	s    *Server
 	q    *Query
-	pool sync.Pool // of preparedEntry
+	pool sync.Pool // of *preparedEntry (pointers: a value would box per Put)
 }
 
 // preparedEntry is one pooled prepared instance, tagged with the strategy
@@ -1135,28 +1198,44 @@ func (p *ServerPrepared) Query() *Query { return p.q }
 
 // get hands out a pooled prepared instance for the current strategy epoch,
 // building one if the pool is momentarily empty (first use by a new level of
-// concurrency) or holds only retired-epoch entries.
-func (p *ServerPrepared) get() (preparedEntry, error) {
+// concurrency) or holds only retired-epoch entries. hit reports whether the
+// pool served the instance (the plan-cache hit/miss signal).
+func (p *ServerPrepared) get() (e *preparedEntry, hit bool, err error) {
 	epoch := p.s.strategyEpoch()
-	if e, ok := p.pool.Get().(preparedEntry); ok && e.epoch == epoch {
-		return e, nil
+	if e, ok := p.pool.Get().(*preparedEntry); ok && e.epoch == epoch {
+		return e, true, nil
 	}
 	pq, err := p.s.reading().Prepare(p.q)
-	return preparedEntry{pq: pq, epoch: epoch}, err
+	return &preparedEntry{pq: pq, epoch: epoch}, false, err
 }
 
 // Answer executes the prepared query against the current snapshot.
 func (p *ServerPrepared) Answer() (*engine.Result, error) {
-	e, err := p.get()
+	e, hit, err := p.get()
 	if err != nil {
 		return nil, err
 	}
+	if !p.s.om.on {
+		res, err := e.pq.Answer()
+		if err != nil {
+			// Drop the errored instance instead of pooling it: its cached plan
+			// state may be mid-revalidation, and recycling it would hand the
+			// breakage to the next caller. get builds a fresh one on demand.
+			return nil, err
+		}
+		p.pool.Put(e)
+		return res, nil
+	}
+	t0 := monoNow()
 	res, err := e.pq.Answer()
+	d := monoNow() - t0
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	p.s.om.noteQuery(p.q, true, hit, d, rows, err)
 	if err != nil {
-		// Drop the errored instance instead of pooling it: its cached plan
-		// state may be mid-revalidation, and recycling it would hand the
-		// breakage to the next caller. get builds a fresh one on demand.
-		return nil, err
+		return nil, err // drop the errored instance (see above)
 	}
 	p.pool.Put(e)
 	return res, nil
@@ -1164,11 +1243,21 @@ func (p *ServerPrepared) Answer() (*engine.Result, error) {
 
 // Ask reports whether the prepared query has any answer.
 func (p *ServerPrepared) Ask() (bool, error) {
-	e, err := p.get()
+	e, hit, err := p.get()
 	if err != nil {
 		return false, err
 	}
+	if !p.s.om.on {
+		ok, err := e.pq.Ask()
+		if err != nil {
+			return false, err // drop the errored instance (see Answer)
+		}
+		p.pool.Put(e)
+		return ok, nil
+	}
+	t0 := monoNow()
 	ok, err := e.pq.Ask()
+	p.s.om.noteQuery(p.q, true, hit, monoNow()-t0, 0, err)
 	if err != nil {
 		return false, err // drop the errored instance (see Answer)
 	}

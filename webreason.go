@@ -63,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lubm"
 	"repro/internal/ntriples"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/rdf"
 	"repro/internal/rdfio"
@@ -218,6 +219,32 @@ func OpenDB(dir string, opts DBOptions) (*DB, error) { return persist.Open(dir, 
 // structures. A saturation snapshot restored as the saturation strategy
 // starts serving without re-running saturation.
 var RestoreStrategy = core.RestoreStrategy
+
+// Observability. A MetricsRegistry collects the serving stack's metric
+// families — build one, pass it through ServerOptions.Obs, DBOptions.Obs
+// and FollowerConfig.Obs, and every layer registers and observes its
+// counters, gauges and latency histograms against it (lock-free and
+// allocation-free on the hot paths; see internal/obs). A SlowLog rides
+// alongside via ServerOptions.SlowLog, retaining a structured QueryTrace
+// for every read at or above its threshold. AdminHandler serves both over
+// HTTP together with Health and pprof.
+type (
+	// MetricsRegistry is a named collection of metric families, rendered in
+	// the Prometheus text exposition format by WritePrometheus.
+	MetricsRegistry = obs.Registry
+	// SlowLog is a bounded ring buffer of slow-query traces.
+	SlowLog = obs.SlowLog
+	// QueryTrace is one slow-query record: strategy, plan-cache hit/miss,
+	// duration, rows, query text.
+	QueryTrace = obs.QueryTrace
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSlowLog returns a slow-query log holding up to capacity traces of
+// reads that took at least threshold (capacity <= 0 means 256).
+var NewSlowLog = obs.NewSlowLog
 
 // Prepare compiles q against s for repeated execution. The returned
 // PreparedQuery caches the join plan (and, for reformulation, the rewritten
