@@ -3,6 +3,10 @@
 #   make test             run the full tier-1 suite (build + all tests)
 #   make test-race        the same suite under the race detector
 #   make vet              static checks
+#   make lint             vet plus the project invariant analyzers: builds
+#                         tools/analyzers/webreasonvet and runs it over the
+#                         main module and the tools module (hotpath,
+#                         frozenmut, ctxblock, errtaxonomy, atomicfield)
 #   make fuzz             run each fuzz target briefly (parsers, the
 #                         persistence snapshot/WAL decoders and the store
 #                         index codec; panic hunt)
@@ -64,7 +68,7 @@ STORE_SEED ?= 1
 STORE_ROUNDS ?= 1000
 STORE_STEPS ?= 300
 
-.PHONY: test test-race test-chaos test-replica-chaos test-store-stress vet fuzz bench bench-query bench-concurrent bench-persist bench-group bench-replica bench-obs
+.PHONY: test test-race test-chaos test-replica-chaos test-store-stress vet lint fuzz bench bench-query bench-concurrent bench-persist bench-group bench-replica bench-obs
 
 test:
 	$(GO) build ./...
@@ -86,6 +90,14 @@ test-store-stress:
 
 vet:
 	$(GO) vet ./...
+	$(GO) -C tools/analyzers vet ./...
+
+# lint implies vet, then runs the invariant analyzers over both modules
+# (the tools module is dogfooded).
+lint: vet
+	$(GO) -C tools/analyzers build -o bin/webreasonvet ./webreasonvet
+	tools/analyzers/bin/webreasonvet ./...
+	tools/analyzers/bin/webreasonvet -C tools/analyzers ./...
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNTriples -fuzztime $(FUZZTIME) ./internal/ntriples/

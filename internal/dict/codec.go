@@ -81,7 +81,7 @@ func ReadBinary(b []byte) (*Dict, error) {
 	for i := uint64(0); i < n; i++ {
 		t, used, err := rdf.DecodeTermInPlace(b)
 		if err != nil {
-			return nil, fmt.Errorf("%w: term %d: %v", ErrDictCorrupt, i+1, err)
+			return nil, fmt.Errorf("%w: term %d: %w", ErrDictCorrupt, i+1, err)
 		}
 		b = b[used:]
 		if _, dup := d.byVal[t]; dup {

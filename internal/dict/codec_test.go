@@ -2,6 +2,8 @@ package dict
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -97,6 +99,22 @@ func TestDictReadBinaryRejectsCorrupt(t *testing.T) {
 	}
 	if n := d.Len(); n != 1 {
 		t.Fatalf("source dict mutated: %d", n)
+	}
+}
+
+// TestReadBinaryWrapsTermCause pins the wrap chain of a term-level decode
+// failure: both the dictionary sentinel and the underlying term sentinel
+// must be reachable through errors.Is, so callers can classify corruption
+// at either level (the wrap used %v before, severing the term cause).
+func TestReadBinaryWrapsTermCause(t *testing.T) {
+	b := binary.AppendUvarint(nil, 1)
+	b = append(b, 0xFF) // no term starts with these tag bits
+	_, err := ReadBinary(b)
+	if !errors.Is(err, ErrDictCorrupt) {
+		t.Fatalf("errors.Is(err, ErrDictCorrupt) = false for %v", err)
+	}
+	if !errors.Is(err, rdf.ErrTermCorrupt) {
+		t.Fatalf("errors.Is(err, rdf.ErrTermCorrupt) = false for %v; the term cause must stay in the chain", err)
 	}
 }
 

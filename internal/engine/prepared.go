@@ -275,7 +275,10 @@ func (p *Prepared) Plan() []PlanStep {
 
 // Eval evaluates the prepared BGP, returning one row per match over all
 // variables (bag semantics, like Compiled.Eval).
+//
+//webreason:hotpath
 func (p *Prepared) Eval() *Result {
+	//lint:ignore hotpath recompile/replan is the cold revalidation branch; steady-state refresh is a version check plus one O(1) Count
 	p.refresh()
 	p.distinct = false
 	p.w = len(p.c.vars)
@@ -290,9 +293,13 @@ func (p *Prepared) Eval() *Result {
 // steady-state evaluation allocates only the result itself; projections
 // wider than three columns fall back to string keys and additionally pay
 // one key allocation per distinct row.
+//
+//webreason:hotpath
 func (p *Prepared) EvalDistinct(proj []string) *Result {
+	//lint:ignore hotpath recompile/replan is the cold revalidation branch; steady-state refresh is a version check plus one O(1) Count
 	p.refresh()
 	if !slices.Equal(proj, p.proj) {
+		//lint:ignore hotpath projection change is a cold branch; steady-state calls reuse the cached projection
 		p.setProjection(slices.Clone(proj))
 	}
 	p.distinct = true

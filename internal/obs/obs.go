@@ -128,6 +128,8 @@ type Histogram struct {
 // Observe records one sample. Negative samples clamp to 0. The total count
 // is derived from the buckets at read time, so the hot path is exactly two
 // atomic adds.
+//
+//webreason:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"io"
 	"io/fs"
 	"os"
@@ -92,7 +93,7 @@ func (osFS) ReadFileFrom(name string, off int64) ([]byte, error) {
 	}
 	buf := make([]byte, size-off)
 	n, err := f.ReadAt(buf, off)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	// A racing append may have grown the file past the Stat; the next poll

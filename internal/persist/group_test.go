@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -345,6 +346,23 @@ func TestDecodeWALPayloadCountBound(t *testing.T) {
 	m, err := decodeWALPayload(rec[walRecHdrLen:])
 	if err != nil || len(m.Triples) != 1 {
 		t.Fatalf("valid record: %v (%d triples)", err, len(m.Triples))
+	}
+}
+
+// TestDecodeWALWrapsTripleCause pins the wrap chain of a triple-level decode
+// failure inside a WAL record: the error must satisfy errors.Is for both the
+// WAL sentinel and the underlying term sentinel (the wrap used %v before,
+// severing the cause from the Is/As chain).
+func TestDecodeWALWrapsTripleCause(t *testing.T) {
+	payload := []byte{opInsert}
+	payload = binary.AppendUvarint(payload, 1)
+	payload = append(payload, 0xFF, 0, 0, 0, 0, 0) // no term starts with tag 0xFF
+	_, err := decodeWALPayload(payload)
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("errors.Is(err, ErrWALCorrupt) = false for %v", err)
+	}
+	if !errors.Is(err, rdf.ErrTermCorrupt) {
+		t.Fatalf("errors.Is(err, rdf.ErrTermCorrupt) = false for %v; the term cause must stay in the chain", err)
 	}
 }
 

@@ -242,7 +242,7 @@ func decodeSnapshot(b []byte) (*LoadedState, error) {
 	}
 	d, err := dict.ReadBinary(dictPayload)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
 	}
 	// Store sections are decoded with the dictionary length as ID bound, so
 	// "every stored ID resolves to a term" — the one cross-section invariant
@@ -256,10 +256,10 @@ func decodeSnapshot(b []byte) (*LoadedState, error) {
 	ls := &LoadedState{Dict: d, Generation: gen, Term: term}
 	if flags&flagBaseSet != 0 {
 		if ls.BaseSet, err = store.ReadSetBinary(basePayload, maxID); err != nil {
-			return nil, fmt.Errorf("%w: base set: %v", ErrSnapshotCorrupt, err)
+			return nil, fmt.Errorf("%w: base set: %w", ErrSnapshotCorrupt, err)
 		}
 	} else if ls.Base, err = store.ReadBinaryChecked(basePayload, maxID); err != nil {
-		return nil, fmt.Errorf("%w: base: %v", ErrSnapshotCorrupt, err)
+		return nil, fmt.Errorf("%w: base: %w", ErrSnapshotCorrupt, err)
 	}
 	if flags&flagHasGInf != 0 {
 		satPayload, err := section("saturated")
@@ -267,7 +267,7 @@ func decodeSnapshot(b []byte) (*LoadedState, error) {
 			return nil, err
 		}
 		if ls.Saturated, err = store.ReadBinaryChecked(satPayload, maxID); err != nil {
-			return nil, fmt.Errorf("%w: saturated: %v", ErrSnapshotCorrupt, err)
+			return nil, fmt.Errorf("%w: saturated: %w", ErrSnapshotCorrupt, err)
 		}
 	}
 	if len(b) != 0 {

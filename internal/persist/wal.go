@@ -112,6 +112,8 @@ func ParseWALHeader(b []byte) (gen, term uint64, err error) {
 var errRecordTooLarge = fmt.Errorf("persist: mutation batch exceeds the %d-byte WAL record limit", maxWALRecord)
 
 // appendWALRecord appends one framed record to buf and returns it.
+//
+//webreason:hotpath
 func appendWALRecord(buf []byte, del bool, ts []rdf.Triple) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame placeholder
@@ -156,10 +158,10 @@ func decodeWALPayload(b []byte) (Mutation, error) {
 	for i := uint64(0); i < n; i++ {
 		t, used, err := rdf.DecodeTriple(b)
 		if err != nil {
-			return Mutation{}, fmt.Errorf("%w: triple %d: %v", ErrWALCorrupt, i, err)
+			return Mutation{}, fmt.Errorf("%w: triple %d: %w", ErrWALCorrupt, i, err)
 		}
 		if err := t.WellFormed(); err != nil {
-			return Mutation{}, fmt.Errorf("%w: triple %d: %v", ErrWALCorrupt, i, err)
+			return Mutation{}, fmt.Errorf("%w: triple %d: %w", ErrWALCorrupt, i, err)
 		}
 		b = b[used:]
 		m.Triples = append(m.Triples, t)
@@ -210,7 +212,7 @@ func DecodeWALRecords(b []byte) (recs []Mutation, consumed int64, err error) {
 		}
 		m, err := decodeWALPayload(payload)
 		if err != nil {
-			return nil, 0, fmt.Errorf("%w at offset %d: %v", ErrWALCorrupt, off, err)
+			return nil, 0, fmt.Errorf("%w at offset %d: %w", ErrWALCorrupt, off, err)
 		}
 		recs = append(recs, m)
 		off += int64(walRecHdrLen) + int64(length)

@@ -32,13 +32,18 @@ func Load(path string) (*rdf.Graph, error) {
 }
 
 // Save writes a graph; the syntax is chosen by extension as in Load. For
-// Turtle output, prefixes may be nil.
-func Save(path string, g *rdf.Graph, prefixes map[string]string) error {
+// Turtle output, prefixes may be nil. A failed close surfaces as the Save
+// error — on a write path it can be the only report of lost data.
+func Save(path string, g *rdf.Graph, prefixes map[string]string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	switch ext := strings.ToLower(filepath.Ext(path)); ext {
 	case ".nt", ".ntriples":
 		return ntriples.Write(f, g)

@@ -106,6 +106,8 @@ func (m *Materialization) Clone() *Materialization {
 // postings leaf being iterated). Conclusions added by fn therefore never
 // join the current enumeration — the semi-naive outer loop picks them up as
 // the next delta.
+//
+//webreason:hotpath
 func forEachInstantiation(st *store.Store, r *Rule, pos int, t store.Triple, sc *scratch, fn func(conclusion, partner store.Triple)) {
 	sc.grow(r.NVars)
 	b, b2 := sc.b, sc.b2

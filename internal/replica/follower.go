@@ -507,6 +507,7 @@ func (f *Follower) stopLoop() {
 		f.loopDone = true
 		close(f.done)
 	}
+	//lint:ignore ctxblock shutdown wait: done is closed and the loop selects on it, so it exits within one catch-up round
 	f.wg.Wait()
 	f.mu.Lock()
 	f.stopped = true

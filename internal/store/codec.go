@@ -163,7 +163,7 @@ func ReadBinaryChecked(b []byte, maxID dict.ID) (*Store, error) {
 	for i, ix := range []*index{&s.spo, &s.pos, &s.osp} {
 		rest, err := readIndex(ix, b, int(size), maxID)
 		if err != nil {
-			return nil, fmt.Errorf("%w: index %d: %v", ErrStoreCorrupt, i, err)
+			return nil, fmt.Errorf("%w: index %d: %w", ErrStoreCorrupt, i, err)
 		}
 		b = rest
 	}

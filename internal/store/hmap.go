@@ -136,6 +136,11 @@ type hent[V any] struct {
 // hnode is one trie node. entBm marks chunks occupied by an entry (ents
 // holds them densely in chunk order); kidBm marks chunks that continue into
 // a child node (kids, same packing). The two bitmaps are disjoint.
+//
+// Nodes at an epoch below the map's current one are shared with snapshots:
+// they are frozen, and only the copy-on-write writers may touch their fields.
+//
+//webreason:frozen
 type hnode[V any] struct {
 	epoch uint64
 	entBm uint64
@@ -150,6 +155,10 @@ func bmRank(bm uint64, c uint32) (int, bool) {
 	return bits.OnesCount64(bm & (bit - 1)), bm&bit != 0
 }
 
+// cloneNode copies n into the current epoch; the copy is private to the
+// writer and safe to mutate.
+//
+//webreason:writer
 func (h *hmap[V]) cloneNode(n *hnode[V], m *mctx) *hnode[V] {
 	m.copied++
 	h.gen++
@@ -192,6 +201,8 @@ func (h *hmap[V]) get(k uint64) (V, bool) {
 // when the key is absent, after making every node on the path writer-owned
 // for m's epoch. The pointer is valid until the hmap's next structural
 // change; the single-writer callers write through it immediately.
+//
+//webreason:writer
 func (h *hmap[V]) upsert(k uint64, m *mctx) *V {
 	if h.root == nil {
 		h.root = h.newNode(m.epoch)
@@ -265,6 +276,8 @@ func (h *hmap[V]) upsert(k uint64, m *mctx) *V {
 // pruning emptied nodes so the trie never accumulates dead branches. (A
 // surviving single entry is not lifted back up; gets still find it one
 // level deeper, and the canonical on-disk form never depends on trie shape.)
+//
+//webreason:writer
 func (h *hmap[V]) del(k uint64, m *mctx) {
 	// Probe first: a miss must not copy anything.
 	if _, ok := h.get(k); !ok {

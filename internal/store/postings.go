@@ -30,6 +30,12 @@ type sortCache struct {
 // to a map past promoteAt elements; it never demotes (a leaf that grew once
 // is likely to grow again, and Remove-heavy workloads delete whole leaves
 // anyway).
+//
+// A leaf whose epoch predates the store's current epoch is shared with at
+// least one snapshot: it is frozen, and only the copy-on-write writers below
+// may touch its fields.
+//
+//webreason:frozen
 type postings struct {
 	small []dict.ID            // sorted; authoritative while set == nil
 	set   map[dict.ID]struct{} // non-nil once promoted
@@ -41,7 +47,10 @@ type postings struct {
 	epoch uint64
 }
 
-// add inserts c and reports whether it was new.
+// add inserts c and reports whether it was new. The caller guarantees p is
+// at the current epoch (cloneAt first when shared).
+//
+//webreason:writer
 func (p *postings) add(c dict.ID) bool {
 	if p.set != nil {
 		if _, ok := p.set[c]; ok {
@@ -72,7 +81,10 @@ func (p *postings) add(c dict.ID) bool {
 	return true
 }
 
-// remove deletes c and reports whether it was present.
+// remove deletes c and reports whether it was present. The caller
+// guarantees p is at the current epoch (cloneAt first when shared).
+//
+//webreason:writer
 func (p *postings) remove(c dict.ID) bool {
 	if p.set != nil {
 		if _, ok := p.set[c]; !ok {
@@ -151,6 +163,8 @@ func (p *postings) sortedView() []dict.ID {
 }
 
 // clone returns an independent deep copy (sort cache cold).
+//
+//webreason:writer
 func (p *postings) clone() *postings {
 	c := &postings{}
 	if p.set != nil {
@@ -171,6 +185,8 @@ func (p *postings) clone() *postings {
 // snapshot readers may be rebuilding the original's cache concurrently
 // under the shared sort lock, and copying it here would race with that
 // write.
+//
+//webreason:writer
 func (p *postings) cloneAt(epoch uint64) *postings {
 	c := p.clone()
 	c.epoch = epoch

@@ -117,6 +117,8 @@ func (s *TripleSet) Snapshot() *TripleSetSnapshot {
 }
 
 // TripleSetSnapshot is an immutable point-in-time view of a TripleSet.
+//
+//webreason:frozen
 type TripleSetSnapshot struct {
 	ix     index
 	size   int
@@ -181,7 +183,7 @@ func ReadSetBinary(b []byte, maxID dict.ID) (*TripleSet, error) {
 	s := &TripleSet{size: int(size), sortMu: &sync.Mutex{}}
 	rest, err := readIndex(&s.ix, b, int(size), maxID)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrStoreCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrStoreCorrupt, err)
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrStoreCorrupt, len(rest))

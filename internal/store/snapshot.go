@@ -18,6 +18,8 @@ package store
 // Memory: a snapshot retains the nodes and leaves it shares for as long as
 // it is referenced. Dropping every reference to a snapshot releases whatever
 // the live store has since replaced.
+//
+//webreason:frozen
 type Snapshot struct {
 	tables
 	epoch uint64

@@ -447,6 +447,7 @@ func (s *Server) DeleteDurableContext(ctx context.Context, ts ...Triple) error {
 
 func (s *Server) durably(ctx context.Context, del bool, ts []Triple) error {
 	ch := make(chan error, 1)
+	//lint:ignore ctxblock the channel is buffered(1) and the ack fires at most once, so the send never blocks
 	if _, err := s.enqueue(ctx, del, ts, func(err error) { ch <- err }); err != nil {
 		return err
 	}
@@ -454,6 +455,7 @@ func (s *Server) durably(ctx context.Context, del bool, ts []Triple) error {
 	// queue drain away, not a FlushInterval sleep away.
 	s.nudge()
 	if ctx.Done() == nil {
+		//lint:ignore ctxblock ctx.Done() is nil so the caller chose an unbounded wait; the ack always fires because the writer drains the queue on close and degrade
 		return <-ch
 	}
 	select {
@@ -629,6 +631,7 @@ func (s *Server) Flush() error {
 	// The writer always drains the queue (on kicks, ticks and on its way
 	// out), so applied reaches target even when Close races this call.
 	for s.applied.Load() < target {
+		//lint:ignore ctxblock Flush's API contract is an unbounded wait; the writer drains the queue on kicks, ticks and exit, so applied always reaches target
 		s.cond.Wait()
 	}
 	return wrapDegraded(s.durErr)
@@ -761,6 +764,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		//lint:ignore ctxblock shutdown wait: done is already closed, so the writer exits after one bounded queue drain
 		s.wg.Wait()
 		return nil
 	}
@@ -773,6 +777,7 @@ func (s *Server) Close() error {
 		// applied state; pending waits get typed errors via the follower.
 		return s.follower.Stop()
 	}
+	//lint:ignore ctxblock shutdown wait: done just closed, so the writer exits after one bounded queue drain
 	s.wg.Wait() // the writer drains the queue on its way out
 	s.mu.Lock()
 	durErr := s.durErr
@@ -912,6 +917,7 @@ func (ss *Session) DeleteDurableContext(ctx context.Context, ts ...Triple) error
 
 func (ss *Session) durably(ctx context.Context, del bool, ts []Triple) error {
 	ch := make(chan error, 1)
+	//lint:ignore ctxblock the channel is buffered(1) and the ack fires at most once, so the send never blocks
 	seq, err := ss.s.enqueue(ctx, del, ts, func(err error) { ch <- err })
 	if err != nil {
 		return err
@@ -924,6 +930,7 @@ func (ss *Session) durably(ctx context.Context, del bool, ts []Triple) error {
 	ss.note(seq)
 	ss.s.nudge()
 	if ctx.Done() == nil {
+		//lint:ignore ctxblock ctx.Done() is nil so the caller chose an unbounded wait; the ack always fires because the writer drains the queue on close and degrade
 		return <-ch
 	}
 	select {
@@ -1210,6 +1217,8 @@ func (p *ServerPrepared) get() (e *preparedEntry, hit bool, err error) {
 }
 
 // Answer executes the prepared query against the current snapshot.
+//
+//webreason:hotpath
 func (p *ServerPrepared) Answer() (*engine.Result, error) {
 	e, hit, err := p.get()
 	if err != nil {
@@ -1233,6 +1242,7 @@ func (p *ServerPrepared) Answer() (*engine.Result, error) {
 	if res != nil {
 		rows = len(res.Rows)
 	}
+	//lint:ignore hotpath noteQuery's happy path is counter increments and one Observe; the wall-clock read and query formatting sit in the slow-log branch, entered only after the threshold fires
 	p.s.om.noteQuery(p.q, true, hit, d, rows, err)
 	if err != nil {
 		return nil, err // drop the errored instance (see above)
@@ -1242,6 +1252,8 @@ func (p *ServerPrepared) Answer() (*engine.Result, error) {
 }
 
 // Ask reports whether the prepared query has any answer.
+//
+//webreason:hotpath
 func (p *ServerPrepared) Ask() (bool, error) {
 	e, hit, err := p.get()
 	if err != nil {
@@ -1257,6 +1269,7 @@ func (p *ServerPrepared) Ask() (bool, error) {
 	}
 	t0 := monoNow()
 	ok, err := e.pq.Ask()
+	//lint:ignore hotpath noteQuery's happy path is counter increments and one Observe; the wall-clock read and query formatting sit in the slow-log branch, entered only after the threshold fires
 	p.s.om.noteQuery(p.q, true, hit, monoNow()-t0, 0, err)
 	if err != nil {
 		return false, err // drop the errored instance (see Answer)

@@ -1,0 +1,62 @@
+// Package analysis is a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for this repository's needs: an
+// Analyzer runs over one type-checked package at a time but can see the
+// whole main module through the Program, which is what lets the hotpath
+// checker follow static callees across package boundaries and the
+// frozenmut checker find writes to a type marked in another package.
+//
+// The repository's main module is deliberately dependency-free and this
+// build environment resolves modules offline, so the x/tools framework is
+// not importable here; the subset below (Analyzer, Pass, Diagnostic, a
+// module loader and an analysistest-style golden harness) is API-shaped
+// like the original so the analyzers would port to a vet -vettool build
+// with mechanical changes only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint:ignore
+	// directives. By convention it is a single lowercase word.
+	Name string
+	// Doc is the analyzer's documentation: first line is a one-line
+	// summary shown in -list output.
+	Doc string
+	// Run applies the check to one package. Findings are delivered via
+	// pass.Report; the error return is for operational failures only.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Prog is the whole-module view: every package of the analyzed
+	// module, their directive marks, and a function-declaration index for
+	// static callee following.
+	Prog *Program
+	// Report delivers one diagnostic. The position must be inside one of
+	// the module's files (lint:ignore suppression is resolved by file and
+	// line).
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

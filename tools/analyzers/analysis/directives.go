@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive markers understood by the suite. They are pragma-style
+// comments (no space after //, like //go:noinline) so gofmt keeps them
+// attached to the declaration they annotate:
+//
+//	//webreason:hotpath  on a func: the function and every static callee
+//	                     must stay free of hot-path hazards (see hotpath).
+//	//webreason:frozen   on a type: fields may only be written by funcs
+//	                     marked //webreason:writer (see frozenmut).
+//	//webreason:writer   on a func: exempt from frozenmut inside its body.
+//
+// Suppression uses the staticcheck-style form, with a mandatory
+// justification after the rule name:
+//
+//	//lint:ignore <rule> <justification text>
+//
+// placed on the flagged line or on the line directly above it. A missing
+// justification is itself reported.
+const (
+	MarkHotpath = "hotpath"
+	MarkFrozen  = "frozen"
+	MarkWriter  = "writer"
+)
+
+const markPrefix = "//webreason:"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line  int
+	rules map[string]bool
+	just  string
+	pos   token.Pos
+	used  bool
+}
+
+// Marks holds the directive index of one package: which declarations
+// carry which markers, and the per-file suppression directives.
+type Marks struct {
+	funcs   map[*ast.FuncDecl]map[string]bool
+	types   map[string]map[string]bool // type name -> markers
+	ignores map[string][]*ignoreDirective
+}
+
+// scanMarks builds the directive index for a parsed package.
+func scanMarks(fset *token.FileSet, files []*ast.File) *Marks {
+	m := &Marks{
+		funcs:   map[*ast.FuncDecl]map[string]bool{},
+		types:   map[string]map[string]bool{},
+		ignores: map[string][]*ignoreDirective{},
+	}
+	for _, f := range files {
+		// Index every marker and ignore comment by line first; declaration
+		// association is by doc-group membership or directly-above line.
+		markAt := map[int]map[string]bool{}
+		fname := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				line := fset.Position(c.Pos()).Line
+				if rest, ok := strings.CutPrefix(c.Text, markPrefix); ok {
+					name := strings.TrimSpace(rest)
+					if markAt[line] == nil {
+						markAt[line] = map[string]bool{}
+					}
+					markAt[line][name] = true
+				}
+				if rest, ok := strings.CutPrefix(c.Text, "//lint:ignore "); ok {
+					fields := strings.Fields(rest)
+					ig := &ignoreDirective{line: line, rules: map[string]bool{}, pos: c.Pos()}
+					if len(fields) > 0 {
+						for _, r := range strings.Split(fields[0], ",") {
+							ig.rules[r] = true
+						}
+						ig.just = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+					}
+					m.ignores[fname] = append(m.ignores[fname], ig)
+				}
+			}
+		}
+		attach := func(doc *ast.CommentGroup, declPos token.Pos) map[string]bool {
+			set := map[string]bool{}
+			if doc != nil {
+				for l := fset.Position(doc.Pos()).Line; l <= fset.Position(doc.End()).Line; l++ {
+					for k := range markAt[l] {
+						set[k] = true
+					}
+				}
+			}
+			for k := range markAt[fset.Position(declPos).Line-1] {
+				set[k] = true
+			}
+			return set
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if set := attach(d.Doc, d.Pos()); len(set) > 0 {
+					m.funcs[d] = set
+				}
+			case *ast.GenDecl:
+				declMarks := attach(d.Doc, d.Pos())
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					set := attach(ts.Doc, ts.Pos())
+					for k := range declMarks {
+						set[k] = true
+					}
+					if len(set) > 0 {
+						m.types[ts.Name.Name] = set
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// FuncMarked reports whether the declaration carries the marker.
+func (m *Marks) FuncMarked(fd *ast.FuncDecl, mark string) bool {
+	return m != nil && m.funcs[fd][mark]
+}
+
+// TypeMarked reports whether the package-level type name carries the
+// marker.
+func (m *Marks) TypeMarked(name, mark string) bool {
+	return m != nil && m.types[name][mark]
+}
+
+// MarkedFuncs returns the declarations carrying the marker.
+func (m *Marks) MarkedFuncs(mark string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for fd, set := range m.funcs {
+		if set[mark] {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirPackage names one fixture package: the import path it should be
+// checked under and the directory holding its sources.
+type DirPackage struct {
+	Path string
+	Dir  string
+}
+
+// LoadDirs builds a Program from explicit fixture directories (the
+// analysistest harness's loader). Packages are type-checked in the given
+// order, so list imported fixture packages before their importers; other
+// imports resolve to the standard library. modulePath scopes the
+// path-sensitive analyzers exactly as it does for a real module.
+func LoadDirs(modulePath string, pkgs []DirPackage) (*Program, error) {
+	prog := &Program{Fset: token.NewFileSet(), ModulePath: modulePath}
+	checked := map[string]*types.Package{}
+	imp := &progImporter{checked: checked, fallback: importer.Default()}
+	for _, dp := range pkgs {
+		entries, err := os.ReadDir(dp.Dir)
+		if err != nil {
+			return nil, err
+		}
+		var names []string
+		for _, e := range entries {
+			if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(dp.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("%s: no Go files", dp.Dir)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		cfg := types.Config{Importer: imp}
+		tpkg, err := cfg.Check(dp.Path, prog.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dp.Path, err)
+		}
+		checked[dp.Path] = tpkg
+		prog.Packages = append(prog.Packages, &Package{
+			Path:  dp.Path,
+			Name:  files[0].Name.Name,
+			Dir:   dp.Dir,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+			Marks: scanMarks(prog.Fset, files),
+		})
+	}
+	prog.index()
+	return prog, nil
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// Load builds the Program for the module rooted at dir: it enumerates the
+// packages matching patterns with the go tool, parses their non-test
+// sources and type-checks them from source in dependency order, so every
+// pass sees full syntax and type information for the whole module. Test
+// files are outside the invariant surface (the checked annotations guard
+// production paths) and are not loaded.
+func Load(dir string, patterns []string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(listed) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	modPath := ""
+	for _, lp := range listed {
+		if lp.Module != nil {
+			modPath = lp.Module.Path
+			break
+		}
+	}
+	byPath := map[string]*listedPackage{}
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	// Close over module-internal imports that the patterns did not match,
+	// so callee following and marker lookup always see the whole module.
+	for {
+		var missing []string
+		for _, lp := range byPath {
+			for _, imp := range lp.Imports {
+				if inModule(imp, modPath) && byPath[imp] == nil {
+					missing = append(missing, imp)
+				}
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		sort.Strings(missing)
+		more, err := goList(dir, missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range more {
+			byPath[lp.ImportPath] = lp
+		}
+	}
+
+	order := topoOrder(byPath, modPath)
+	prog := &Program{Fset: token.NewFileSet(), ModulePath: modPath}
+	checked := map[string]*types.Package{}
+	imp := &progImporter{checked: checked, fallback: importer.Default()}
+	var typeErrs []error
+	for _, lp := range order {
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		cfg := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if len(typeErrs) < 10 {
+					typeErrs = append(typeErrs, err)
+				}
+			},
+		}
+		tpkg, _ := cfg.Check(lp.ImportPath, prog.Fset, files, info)
+		checked[lp.ImportPath] = tpkg
+		prog.Packages = append(prog.Packages, &Package{
+			Path:  lp.ImportPath,
+			Name:  lp.Name,
+			Dir:   lp.Dir,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+			Marks: scanMarks(prog.Fset, files),
+		})
+	}
+	if len(typeErrs) > 0 {
+		var b strings.Builder
+		for _, e := range typeErrs {
+			fmt.Fprintf(&b, "\n\t%v", e)
+		}
+		return nil, fmt.Errorf("type checking failed (analysis needs a compiling module):%s", b.String())
+	}
+	prog.index()
+	return prog, nil
+}
+
+func inModule(path, modPath string) bool {
+	return modPath != "" && (path == modPath || strings.HasPrefix(path, modPath+"/"))
+}
+
+// goList shells out to the go tool; the tool binary runs where a go
+// toolchain necessarily exists (it just built the tool).
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := &listedPackage{}
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// topoOrder sorts packages so every module-internal import precedes its
+// importer.
+func topoOrder(byPath map[string]*listedPackage, modPath string) []*listedPackage {
+	var order []*listedPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		lp := byPath[path]
+		if lp == nil || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		for _, imp := range lp.Imports {
+			if inModule(imp, modPath) {
+				visit(imp)
+			}
+		}
+		state[path] = 2
+		order = append(order, lp)
+	}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// progImporter resolves module-internal imports to the packages checked
+// from source and everything else (the standard library; the module has
+// no external dependencies) through the compiler's export data.
+type progImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (i *progImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.checked[path]; ok && p != nil {
+		return p, nil
+	}
+	if from, ok := i.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, "", 0)
+	}
+	return i.fallback.Import(path)
+}

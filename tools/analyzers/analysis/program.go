@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Package is one loaded, parsed and type-checked package of the analyzed
+// module.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Marks *Marks
+}
+
+// Program is the whole-module view shared by every pass.
+type Program struct {
+	Fset       *token.FileSet
+	Packages   []*Package // dependency order
+	ModulePath string
+
+	byTypesPkg map[*types.Package]*Package
+	funcDecls  map[*types.Func]*FuncSource
+	frozen     map[*types.TypeName]bool
+	cache      map[string]any
+}
+
+// Cached memoizes a program-wide computation under key, so per-package
+// passes can share one whole-module scan.
+func (prog *Program) Cached(key string, build func() any) any {
+	if prog.cache == nil {
+		prog.cache = map[string]any{}
+	}
+	if v, ok := prog.cache[key]; ok {
+		return v
+	}
+	v := build()
+	prog.cache[key] = v
+	return v
+}
+
+// FuncSource locates a function declaration inside the module.
+type FuncSource struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// index builds the cross-package lookup tables after all packages are
+// type-checked.
+func (prog *Program) index() {
+	prog.byTypesPkg = map[*types.Package]*Package{}
+	prog.funcDecls = map[*types.Func]*FuncSource{}
+	prog.frozen = map[*types.TypeName]bool{}
+	for _, p := range prog.Packages {
+		prog.byTypesPkg[p.Types] = p
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					prog.funcDecls[fn] = &FuncSource{Decl: fd, Pkg: p}
+				}
+			}
+		}
+		for name, set := range p.Marks.types {
+			if !set[MarkFrozen] {
+				continue
+			}
+			if tn, ok := p.Types.Scope().Lookup(name).(*types.TypeName); ok {
+				prog.frozen[tn] = true
+			}
+		}
+	}
+}
+
+// FuncSourceOf returns the module declaration of fn (resolving generic
+// instantiations to their origin), or nil when fn is declared outside the
+// module or has no body here.
+func (prog *Program) FuncSourceOf(fn *types.Func) *FuncSource {
+	if fn == nil {
+		return nil
+	}
+	return prog.funcDecls[fn.Origin()]
+}
+
+// PackageOf returns the module package wrapping tp, or nil.
+func (prog *Program) PackageOf(tp *types.Package) *Package {
+	return prog.byTypesPkg[tp]
+}
+
+// Frozen reports whether the named type carries //webreason:frozen
+// anywhere in the module. Generic instantiations resolve to their origin.
+func (prog *Program) Frozen(t types.Type) bool {
+	named, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	return prog.frozen[named.Origin().Obj()]
+}
+
+// derefNamed unwraps pointers and aliases down to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	u := types.Unalias(t)
+	if ptr, ok := u.(*types.Pointer); ok {
+		u = types.Unalias(ptr.Elem())
+	}
+	named, ok := u.(*types.Named)
+	return named, ok
+}
+
+// CalleeOf resolves a call expression to its static callee, or nil for
+// function values, interface-method calls, conversions and builtins.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			// Interface method values have no static body; the caller
+			// filters them by FuncSourceOf returning nil.
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one resolved diagnostic: position plus the analyzer that
+// produced it, after lint:ignore suppression.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package of the program and returns
+// the surviving findings sorted by position. Suppressed findings are
+// dropped; malformed suppressions (no justification text) are themselves
+// reported under the pseudo-analyzer name "ignore" — an unexplained
+// suppression is a finding, not an escape hatch.
+func Run(prog *Program, analyzers []*Analyzer) ([]Finding, error) {
+	ignores := map[string][]*ignoreDirective{}
+	known := map[string]bool{"ignore": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, p := range prog.Packages {
+		for file, igs := range p.Marks.ignores {
+			ignores[file] = append(ignores[file], igs...)
+		}
+	}
+	for _, p := range prog.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     prog.Fset,
+				Files:    p.Files,
+				Pkg:      p.Types,
+				Info:     p.Info,
+				Prog:     prog,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := prog.Fset.Position(d.Pos)
+				for _, ig := range ignores[pos.Filename] {
+					if ig.rules[a.Name] && (ig.line == pos.Line || ig.line == pos.Line-1) && ig.just != "" {
+						ig.used = true
+						return
+					}
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", p.Path, a.Name, err)
+			}
+		}
+	}
+	for file, igs := range ignores {
+		_ = file
+		for _, ig := range igs {
+			if ig.just == "" {
+				findings = append(findings, Finding{
+					Pos:      prog.Fset.Position(ig.pos),
+					Analyzer: "ignore",
+					Message:  "lint:ignore directive needs a justification: //lint:ignore <rule> <why this is safe>",
+				})
+				continue
+			}
+			for r := range ig.rules {
+				if !known[r] {
+					findings = append(findings, Finding{
+						Pos:      prog.Fset.Position(ig.pos),
+						Analyzer: "ignore",
+						Message:  fmt.Sprintf("lint:ignore names unknown rule %q", r),
+					})
+				}
+			}
+		}
+	}
+	seen := map[string]bool{}
+	dedup := findings[:0]
+	for _, f := range findings {
+		key := f.String()
+		if !seen[key] {
+			seen[key] = true
+			dedup = append(dedup, f)
+		}
+	}
+	findings = dedup
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,143 @@
+// Package analysistest is a golden-file harness for the suite's
+// analyzers, shaped like golang.org/x/tools/go/analysis/analysistest:
+// fixture sources carry
+//
+//	// want "regexp" "regexp"
+//
+// comments on the lines expected to be flagged, and the harness fails the
+// test on any unmatched expectation or unexpected finding. Because the
+// harness runs the real driver, fixtures exercise lint:ignore suppression
+// too (a justified ignore silences the line; an unjustified one is itself
+// a finding matched under the pseudo-rule "ignore").
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// Dir locates a fixture package under the calling test's testdata/src.
+func Dir(t *testing.T, rel string) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata", "src", rel)
+}
+
+// Run loads the fixture packages (in order; earlier packages are
+// importable by later ones), applies the analyzer through the real
+// driver, and compares findings against the // want expectations in every
+// fixture file.
+func Run(t *testing.T, a *analysis.Analyzer, modulePath string, pkgs ...analysis.DirPackage) {
+	t.Helper()
+	prog, err := analysis.LoadDirs(modulePath, pkgs)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, dp := range pkgs {
+		entries, err := os.ReadDir(dp.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dp.Dir, e.Name())
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+					if !ok {
+						continue
+					}
+					line := fset.Position(c.Pos()).Line
+					for _, pat := range splitQuoted(t, path, line, text) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, pat, err)
+						}
+						k := key{path, line}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	var unexpected []string
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected, f.String())
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			unexpected = append(unexpected,
+				fmt.Sprintf("%s:%d: no finding matched want %q", k.file, k.line, re.String()))
+		}
+	}
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+}
+
+// splitQuoted parses the sequence of quoted regexps after "want".
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: malformed want clause at %q (expected quoted regexp)", file, line, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s:%d: unterminated want pattern", file, line)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module repro/tools/analyzers
+
+go 1.24

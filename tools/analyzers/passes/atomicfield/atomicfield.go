@@ -1,0 +1,203 @@
+// Package atomicfield guards the lock-free discipline of internal/obs
+// and the server's watermark counters: a struct field that is accessed
+// through sync/atomic anywhere in the module must be accessed atomically
+// everywhere. One plain load mixed into an atomic protocol is a data race
+// the race detector only finds when the interleaving cooperates; this
+// check finds it structurally.
+//
+// Two field shapes are covered:
+//
+//   - plain integer/pointer fields passed by address to sync/atomic
+//     functions (atomic.AddInt64(&s.n, 1)): every other access to the
+//     same field must also go through sync/atomic, and its address must
+//     not escape to anything else;
+//   - fields of the atomic value types (atomic.Int64, atomic.Uint64,
+//     atomic.Bool, ...): the typed API already forces atomic access, so
+//     the hazard is copying the value (x := s.v, or passing s.v by
+//     value), which silently forks the counter. Method calls and
+//     address-taking remain free.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	fields := pass.Prog.Cached("atomicfield.fields", func() any {
+		return collect(pass.Prog)
+	}).(map[types.Object]string)
+
+	pkg := pass.Prog.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			obj := selection.Obj()
+			if firstAt, atomicPlain := fields[obj]; atomicPlain {
+				switch parentUse(pass.Info, stack) {
+				case useAtomicArg:
+					// &x.f handed to a sync/atomic call: the protocol.
+				case useAddr:
+					pass.Reportf(sel.Pos(),
+						"address of %s escapes outside sync/atomic; the field is accessed atomically at %s and its address must only feed sync/atomic calls",
+						sel.Sel.Name, firstAt)
+				default:
+					pass.Reportf(sel.Pos(),
+						"plain access to field %s, which is accessed via sync/atomic at %s; mixed access races — use sync/atomic here too",
+						sel.Sel.Name, firstAt)
+				}
+				return true
+			}
+			if tn := atomicValueType(selection.Type()); tn != "" {
+				switch parentUse(pass.Info, stack) {
+				case useMethodRecv, useAddr, useAtomicArg:
+					// v.Load(), &v: the typed API.
+				default:
+					pass.Reportf(sel.Pos(),
+						"field %s of type %s used by value; copying an atomic value forks its state — call its methods or take its address",
+						sel.Sel.Name, tn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type use int
+
+const (
+	useOther use = iota
+	useMethodRecv
+	useAddr
+	useAtomicArg
+)
+
+// parentUse classifies how the selector on top of the stack is consumed
+// by its parents (parens are transparent).
+func parentUse(info *types.Info, stack []ast.Node) use {
+	// stack[len-1] is the selector itself; walk real (non-paren) parents.
+	i := len(stack) - 2
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); !ok {
+			break
+		}
+		i--
+	}
+	if i < 0 {
+		return useOther
+	}
+	parent := stack[i]
+	var grand ast.Node
+	for j := i - 1; j >= 0; j-- {
+		if _, ok := stack[j].(*ast.ParenExpr); !ok {
+			grand = stack[j]
+			break
+		}
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if selInfo, ok := info.Selections[p]; ok && selInfo.Kind() == types.MethodVal {
+			if call, isCall := grand.(*ast.CallExpr); isCall && ast.Unparen(call.Fun) == ast.Expr(p) {
+				return useMethodRecv
+			}
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			if call, ok := grand.(*ast.CallExpr); ok && isAtomicCall(info, call) {
+				return useAtomicArg
+			}
+			return useAddr
+		}
+	}
+	return useOther
+}
+
+// isAtomicCall reports a call to a sync/atomic package function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeOf(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Signature().Recv() == nil
+}
+
+// collect scans the whole module for plain fields whose address feeds a
+// sync/atomic function.
+func collect(prog *Program) map[types.Object]string {
+	fields := map[types.Object]string{}
+	for _, p := range prog.Packages {
+		info := p.Info
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op.String() != "&" {
+						continue
+					}
+					sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+						if _, seen := fields[selection.Obj()]; !seen {
+							pos := prog.Fset.Position(sel.Pos())
+							fields[selection.Obj()] = fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+// Program is re-exported for the Cached closure's signature clarity.
+type Program = analysis.Program
+
+// atomicValueType returns the sync/atomic type name when t is one of the
+// atomic value types, else "".
+func atomicValueType(t types.Type) string {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Origin().Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	if strings.HasPrefix(obj.Name(), "no") { // noCopy etc.
+		return ""
+	}
+	return "atomic." + obj.Name()
+}

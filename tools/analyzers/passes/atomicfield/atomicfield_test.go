@@ -1,0 +1,26 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/passes/atomicfield"
+)
+
+// TestAtomicfieldFlags covers both field shapes: a plain int64 enrolled in
+// the sync/atomic protocol by address, and an atomic.Int64 value field.
+func TestAtomicfieldFlags(t *testing.T) {
+	analysistest.Run(t, atomicfield.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/atomicfix", Dir: analysistest.Dir(t, "atomicfix")},
+	)
+}
+
+// TestAtomicfieldClean pins the allowed accesses: consistent sync/atomic
+// use, typed-API method calls, address-taking of atomic values, and plain
+// access to fields never touched atomically.
+func TestAtomicfieldClean(t *testing.T) {
+	analysistest.Run(t, atomicfield.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/atomicclean", Dir: analysistest.Dir(t, "atomicclean")},
+	)
+}

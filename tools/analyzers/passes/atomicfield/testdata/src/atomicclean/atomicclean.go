@@ -1,0 +1,43 @@
+// Package atomicclean uses each atomic protocol consistently: nothing
+// here may be flagged.
+package atomicclean
+
+import "sync/atomic"
+
+type gauge struct {
+	n    int64
+	name string
+}
+
+func set(g *gauge, v int64) {
+	atomic.StoreInt64(&g.n, v)
+}
+
+func get(g *gauge) int64 {
+	return atomic.LoadInt64(&g.n)
+}
+
+func swap(g *gauge, v int64) int64 {
+	return atomic.SwapInt64(&g.n, v)
+}
+
+// name is never touched atomically, so plain access stays legal.
+func label(g *gauge) string {
+	return g.name
+}
+
+type flags struct {
+	ready atomic.Bool
+}
+
+func mark(f *flags) {
+	f.ready.Store(true)
+}
+
+func check(f *flags) bool {
+	return f.ready.Load()
+}
+
+func share(f *flags) *atomic.Bool {
+	return &f.ready
+}

@@ -1,0 +1,51 @@
+// Package atomicfix exercises the atomicfield rule's flagged forms.
+package atomicfix
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	plain int64
+}
+
+// inc enrolls counter.n in the atomic protocol; this is the first atomic
+// site the findings below point back at.
+func inc(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func read(c *counter) int64 {
+	return c.n // want "plain access to field n, which is accessed via sync/atomic at atomicfix.go:\\d+"
+}
+
+func write(c *counter) {
+	c.n = 0 // want "plain access to field n"
+}
+
+func leak(c *counter) *int64 {
+	return &c.n // want "address of n escapes outside sync/atomic"
+}
+
+func atomicRead(c *counter) int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func plainField(c *counter) int64 {
+	return c.plain
+}
+
+type vals struct {
+	v atomic.Int64
+}
+
+func bump(s *vals) {
+	s.v.Add(1)
+}
+
+func copyOut(s *vals) atomic.Int64 {
+	return s.v // want "field v of type atomic.Int64 used by value"
+}
+
+func addr(s *vals) *atomic.Int64 {
+	return &s.v
+}

@@ -1,0 +1,223 @@
+// Package ctxblock enforces the PR 6 "never hangs" contract on the
+// serving and durability layers: in server.go, internal/persist and
+// internal/replica, potentially-unbounded blocking operations — channel
+// sends and receives, time.Sleep, sync.WaitGroup.Wait / sync.Cond.Wait —
+// must be cancellable. Concretely:
+//
+//   - a channel operation must sit in a select that either has a default
+//     clause (non-blocking) or an arm receiving from <-ctx.Done() or from
+//     a lifecycle channel (an identifier ending in done/stop/quit/closed,
+//     closed on shutdown); a bare <-ctx.Done() receive is itself the
+//     cancellation wait and is allowed;
+//   - time.Sleep is always flagged (sleep cannot be cancelled; use a
+//     timer in a select);
+//   - sync Wait calls must occur in a function that takes a
+//     context.Context (the cond-broadcast-on-AfterFunc pattern), since a
+//     Wait cannot be wrapped in a select.
+//
+// Shutdown paths that block by documented design (Close draining a
+// writer) carry a lint:ignore with the invariant that bounds the wait.
+package ctxblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxblock",
+	Doc:  "blocking operations in server.go, internal/persist and internal/replica must be cancellable",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	wholePkg := strings.HasSuffix(pass.Pkg.Path(), "/internal/persist") ||
+		strings.HasSuffix(pass.Pkg.Path(), "/internal/replica")
+	rootPkg := pass.Pkg.Path() == pass.Prog.ModulePath
+	if !wholePkg && !rootPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if !wholePkg {
+			if filepath.Base(pass.Fset.Position(f.Pos()).Filename) != "server.go" {
+				continue
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass}
+			c.walkFunc(fd.Body, hasCtxParam(pass.Info, fd.Type), false)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// walkFunc walks one function body. hasCtx reports whether a
+// context.Context is in scope (own parameter or captured from the
+// enclosing function); selectOK guards only the comm statements of an
+// acceptable select, not their bodies.
+func (c *checker) walkFunc(body *ast.BlockStmt, hasCtx, _ bool) {
+	var walk func(n ast.Node, commOK bool)
+	var walkNode func(n ast.Node, commOK bool) bool
+	walkNode = func(n ast.Node, commOK bool) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := hasCtx || hasCtxParam(c.pass.Info, n.Type)
+			prev := hasCtx
+			hasCtx = inner
+			ast.Inspect(n.Body, func(m ast.Node) bool { return walkNode(m, false) })
+			hasCtx = prev
+			return false
+		case *ast.SelectStmt:
+			ok := selectCancellable(c.pass.Info, n)
+			for _, cl := range n.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm != nil {
+					ast.Inspect(cc.Comm, func(m ast.Node) bool { return walkNode(m, ok) })
+				}
+				for _, s := range cc.Body {
+					ast.Inspect(s, func(m ast.Node) bool { return walkNode(m, false) })
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			if !commOK {
+				c.pass.Reportf(n.Pos(), "blocking channel send outside a cancellable select; add a select with a <-ctx.Done() (or lifecycle done-channel) arm or a default clause")
+			}
+			ast.Inspect(n.Chan, func(m ast.Node) bool { return walkNode(m, false) })
+			ast.Inspect(n.Value, func(m ast.Node) bool { return walkNode(m, false) })
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if !commOK && !isCancelChan(c.pass.Info, n.X) {
+					c.pass.Reportf(n.Pos(), "blocking channel receive outside a cancellable select; add a select with a <-ctx.Done() (or lifecycle done-channel) arm or a default clause")
+				}
+				ast.Inspect(n.X, func(m ast.Node) bool { return walkNode(m, false) })
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					c.pass.Reportf(n.Pos(), "range over a channel blocks until the channel closes; use an explicit cancellable receive loop")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, hasCtx)
+		}
+		return true
+	}
+	walk = func(n ast.Node, commOK bool) {
+		ast.Inspect(n, func(m ast.Node) bool { return walkNode(m, commOK) })
+	}
+	walk(body, false)
+}
+
+// checkCall flags time.Sleep anywhere and sync Wait calls in functions
+// with no reachable context.
+func (c *checker) checkCall(call *ast.CallExpr, hasCtx bool) {
+	fn := analysis.CalleeOf(c.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		c.pass.Reportf(call.Pos(), "time.Sleep cannot be cancelled; use a timer (or context deadline) in a select with ctx.Done()")
+	case fn.Pkg().Path() == "sync" && fn.Name() == "Wait" && !hasCtx:
+		recv := "sync"
+		if sig := fn.Signature(); sig != nil && sig.Recv() != nil {
+			recv = strings.TrimPrefix(types.TypeString(sig.Recv().Type(), nil), "*")
+		}
+		c.pass.Reportf(call.Pos(), "%s.Wait in a function without a context.Context parameter; make the wait cancellable (context.AfterFunc + Broadcast) or justify the bound", recv)
+	}
+}
+
+// selectCancellable reports whether the select can always make progress
+// or be cancelled: a default clause, or an arm receiving from ctx.Done()
+// or a lifecycle channel.
+func selectCancellable(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		cc := cl.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default clause: non-blocking
+		}
+		var recvX ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recvX = u.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recvX = u.X
+				}
+			}
+		}
+		if recvX != nil && isCancelChan(info, recvX) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCancelChan recognises <-ctx.Done() and lifecycle channels by name.
+func isCancelChan(info *types.Info, x ast.Expr) bool {
+	x = ast.Unparen(x)
+	if call, ok := x.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if t := info.TypeOf(sel.X); t != nil && isContext(t) {
+				return true
+			}
+		}
+		return false
+	}
+	name := ""
+	switch e := x.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	}
+	name = strings.ToLower(name)
+	for _, suffix := range []string{"done", "stop", "quit", "closed", "closing"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		if t := info.TypeOf(p.Type); t != nil && isContext(t) {
+			return true
+		}
+	}
+	return false
+}

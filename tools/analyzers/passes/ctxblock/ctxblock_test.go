@@ -1,0 +1,28 @@
+package ctxblock_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/passes/ctxblock"
+)
+
+// TestCtxblockFlags runs the rule over an in-scope package (path suffix
+// internal/persist) and the module root package, where only server.go is
+// in scope.
+func TestCtxblockFlags(t *testing.T) {
+	analysistest.Run(t, ctxblock.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/internal/persist", Dir: analysistest.Dir(t, "persist")},
+		analysis.DirPackage{Path: "example.com/fix", Dir: analysistest.Dir(t, "rootpkg")},
+	)
+}
+
+// TestCtxblockClean pins the scope boundary: the same blocking constructs
+// in a package outside server.go/internal/persist/internal/replica are
+// not flagged.
+func TestCtxblockClean(t *testing.T) {
+	analysistest.Run(t, ctxblock.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/elsewhere", Dir: analysistest.Dir(t, "elsewhere")},
+	)
+}

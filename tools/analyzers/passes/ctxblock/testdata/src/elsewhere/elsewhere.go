@@ -1,0 +1,15 @@
+// Package elsewhere is outside the ctxblock scope (not server.go, not
+// internal/persist, not internal/replica): nothing here may be flagged.
+package elsewhere
+
+import (
+	"sync"
+	"time"
+)
+
+func blocksFreely(ch chan int, wg *sync.WaitGroup) {
+	ch <- 1
+	<-ch
+	time.Sleep(time.Millisecond)
+	wg.Wait()
+}

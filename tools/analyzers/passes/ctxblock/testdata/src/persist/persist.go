@@ -1,0 +1,73 @@
+// Package persist exercises the ctxblock rule inside an in-scope package.
+package persist
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func bareOps(ch chan int, done chan struct{}) {
+	ch <- 1        // want "blocking channel send outside a cancellable select"
+	<-ch           // want "blocking channel receive outside a cancellable select"
+	<-done         // lifecycle channel: this IS the cancellation wait
+	for range ch { // want "range over a channel blocks until the channel closes"
+	}
+}
+
+func selects(ctx context.Context, ch chan int, stop chan struct{}) {
+	select { // cancellable: ctx arm
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+	select { // cancellable: lifecycle arm
+	case v := <-ch:
+		_ = v
+	case <-stop:
+	}
+	select { // non-blocking: default clause
+	case ch <- 2:
+	default:
+	}
+	select {
+	case ch <- 3: // want "blocking channel send outside a cancellable select"
+	case v := <-ch: // want "blocking channel receive outside a cancellable select"
+		_ = v
+	}
+}
+
+func sleeper(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "time.Sleep cannot be cancelled"
+	_ = ctx
+}
+
+func waitNoCtx(wg *sync.WaitGroup) {
+	wg.Wait() // want "sync.WaitGroup.Wait in a function without a context.Context parameter"
+}
+
+func waitWithCtx(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait()
+	_ = ctx
+}
+
+func condNoCtx(c *sync.Cond) {
+	c.Wait() // want "sync.Cond.Wait in a function without a context.Context parameter"
+}
+
+func closureInherits(ctx context.Context, wg *sync.WaitGroup) {
+	go func() {
+		wg.Wait() // the closure inherits ctx from the enclosing function
+	}()
+	_ = ctx
+}
+
+func closureNoCtx(wg *sync.WaitGroup) {
+	go func() {
+		wg.Wait() // want "sync.WaitGroup.Wait in a function without a context.Context parameter"
+	}()
+}
+
+func suppressed(ch chan int) {
+	//lint:ignore ctxblock the fixture documents a bounded shutdown drain
+	<-ch
+}

@@ -1,0 +1,6 @@
+// helper.go sits in the root package but is NOT server.go: out of scope.
+package rootpkg
+
+func helperWait(ch chan int) {
+	<-ch
+}

@@ -1,0 +1,6 @@
+// server.go is in scope by file name inside the module root package.
+package rootpkg
+
+func serveWait(ch chan int) {
+	<-ch // want "blocking channel receive outside a cancellable select"
+}

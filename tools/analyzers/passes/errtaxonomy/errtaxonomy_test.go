@@ -1,0 +1,25 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/passes/errtaxonomy"
+)
+
+// TestErrtaxonomyFlags exercises sentinel ==/!=, switch-over-error, and
+// fmt.Errorf verbs that drop an error from the Is/As chain.
+func TestErrtaxonomyFlags(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/errfix", Dir: analysistest.Dir(t, "errfix")},
+	)
+}
+
+// TestErrtaxonomyClean pins the allowed idioms: errors.Is, nil compares,
+// %w wraps, the Is-method exemption, and the err.Error() opt-out.
+func TestErrtaxonomyClean(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/errclean", Dir: analysistest.Dir(t, "errclean")},
+	)
+}

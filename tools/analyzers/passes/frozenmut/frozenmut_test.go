@@ -1,0 +1,25 @@
+package frozenmut_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/passes/frozenmut"
+)
+
+// TestFrozenmutFlags exercises direct writes, element writes reached
+// through a frozen field, generic frozen types, and the writer exemption.
+func TestFrozenmutFlags(t *testing.T) {
+	analysistest.Run(t, frozenmut.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/frozen", Dir: analysistest.Dir(t, "frozen")},
+	)
+}
+
+// TestFrozenmutClean pins what the rule must not flag: writes to unmarked
+// types, reads of frozen fields, and writer functions (closures included).
+func TestFrozenmutClean(t *testing.T) {
+	analysistest.Run(t, frozenmut.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/frozenclean", Dir: analysistest.Dir(t, "frozenclean")},
+	)
+}

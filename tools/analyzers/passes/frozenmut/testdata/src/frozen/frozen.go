@@ -1,0 +1,51 @@
+// Package frozen exercises the frozenmut rule: writes to frozen types
+// outside writers, element writes through frozen fields, generics, and
+// the writer exemption.
+package frozen
+
+// node mimics a copy-on-write trie node shared with snapshots.
+//
+//webreason:frozen
+type node struct {
+	x    int
+	ents []ent
+	m    map[int]int
+}
+
+type ent struct{ v int }
+
+// g is a generic frozen type; instantiations must resolve to its origin.
+//
+//webreason:frozen
+type g[V any] struct{ v V }
+
+func badDirect(n *node) {
+	n.x = 1 // want "write to field x of frozen type node outside a //webreason:writer function"
+}
+
+func badIncDec(n *node) {
+	n.x++ // want "write to field x of frozen type node"
+}
+
+func badElem(n *node) {
+	n.ents[0].v = 2 // want "write to field ents of frozen type node"
+}
+
+func badMap(n *node) {
+	n.m[3] = 4 // want "write to field m of frozen type node"
+}
+
+func badGeneric(p *g[int]) {
+	p.v = 5 // want "write to field v of frozen type g"
+}
+
+// cloneNode is the copy-on-write mutator: exempt, closures included.
+//
+//webreason:writer
+func cloneNode(n *node) *node {
+	c := &node{}
+	c.x = n.x
+	fill := func() { c.ents = append(c.ents, n.ents...) }
+	fill()
+	return c
+}

@@ -1,0 +1,37 @@
+// Package frozenclean holds only permitted uses of a frozen type:
+// nothing here may be flagged.
+package frozenclean
+
+//webreason:frozen
+type leaf struct {
+	ids []int
+	n   int
+}
+
+// plain is unmarked: writes to it are unrestricted.
+type plain struct{ n int }
+
+func readOnly(l *leaf) int {
+	total := l.n
+	for _, id := range l.ids {
+		total += id
+	}
+	return total
+}
+
+func writePlain(p *plain) {
+	p.n = 7
+}
+
+func localCopy(l leaf) int {
+	// Reading fields of a by-value copy is fine; only writes are flagged.
+	ids := l.ids
+	_ = ids
+	return l.n
+}
+
+//webreason:writer
+func grow(l *leaf, id int) {
+	l.ids = append(l.ids, id)
+	l.n++
+}

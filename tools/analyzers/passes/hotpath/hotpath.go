@@ -1,0 +1,261 @@
+// Package hotpath checks functions marked //webreason:hotpath — the
+// prepared-query execute path, obs.Histogram.Observe, saturation inner
+// loops, the WAL append path — for constructs that break the engine's
+// allocation and clock discipline:
+//
+//   - fmt formatting calls (Sprintf and friends allocate and reflect)
+//   - time.Now() (hot paths read one monotonic offset via time.Since on a
+//     fixed base; time.Now reads the wall clock too)
+//   - defer inside a loop (one deferred frame per iteration)
+//   - map and slice composite literals (per-execution allocations)
+//   - implicit conversions of concrete values to interface types (boxing
+//     allocates once the value escapes)
+//
+// The check follows static callees declared inside the module: a helper
+// reached from a marked function inherits the discipline, and violations
+// inside it are reported at the call site in the marked (or intermediate)
+// path so a lint:ignore at the call records the justification where the
+// hot path commits to the callee.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"repro/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "reject allocation and clock hazards in //webreason:hotpath functions and their static callees",
+	Run:  run,
+}
+
+// maxDepth bounds callee-chain traversal (cycles are cut by the memo).
+const maxDepth = 32
+
+// violation is one hazard found in a function body, positioned for
+// reporting either directly (in the marked function) or via the call site
+// that reaches it.
+type violation struct {
+	pos  token.Pos
+	desc string
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// memo caches per-function transitive violations: the hazards in the
+	// function's own body plus one entry per call that leads to hazards
+	// deeper in the module.
+	memo map[*types.Func][]violation
+	// walking marks in-progress functions so recursion terminates; a
+	// cycle contributes no extra violations beyond its first pass.
+	walking map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		memo:    map[*types.Func][]violation{},
+		walking: map[*types.Func]bool{},
+	}
+	pkg := pass.Prog.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !pkg.Marks.FuncMarked(fd, analysis.MarkHotpath) {
+				continue
+			}
+			for _, v := range c.checkBody(pkg, fd, 0) {
+				pass.Report(analysis.Diagnostic{Pos: v.pos, Message: v.desc})
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody returns the violations of fd's body: direct hazards at their
+// own position, callee hazards folded into one violation per offending
+// call site.
+func (c *checker) checkBody(pkg *analysis.Package, fd *ast.FuncDecl, depth int) []violation {
+	if fd.Body == nil || depth > maxDepth {
+		return nil
+	}
+	var out []violation
+	info := pkg.Info
+	sig, _ := info.Defs[fd.Name].(*types.Func)
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(loopBody(n), walk)
+			loopDepth--
+			return false
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				out = append(out, violation{n.Pos(), "defer inside a loop in a hot path (one deferred frame per iteration); hoist it or close manually"})
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				out = append(out, violation{n.Pos(), "map composite literal allocates in a hot path; preallocate in a scratch structure"})
+			case *types.Slice:
+				out = append(out, violation{n.Pos(), "slice composite literal allocates in a hot path; preallocate in a scratch structure"})
+			}
+		case *ast.CallExpr:
+			out = append(out, c.checkCall(pkg, n, depth)...)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					out = append(out, c.checkBoxed(info, n.Rhs[i], info.TypeOf(n.Lhs[i]))...)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				for _, v := range n.Values {
+					out = append(out, c.checkBoxed(info, v, info.TypeOf(n.Type))...)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil {
+				res := sig.Signature().Results()
+				if res.Len() == len(n.Results) {
+					for i, r := range n.Results {
+						out = append(out, c.checkBoxed(info, r, res.At(i).Type())...)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return out
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// checkCall classifies one call: forbidden stdlib calls, argument boxing,
+// and module-internal callees whose transitive hazards surface here.
+func (c *checker) checkCall(pkg *analysis.Package, call *ast.CallExpr, depth int) []violation {
+	info := pkg.Info
+	var out []violation
+	fn := analysis.CalleeOf(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch path, name := fn.Pkg().Path(), fn.Name(); {
+		case path == "fmt" && fmtFormatting[name]:
+			return []violation{{call.Pos(), fmt.Sprintf("fmt.%s in a hot path formats through reflection and allocates; hot paths must not format", name)}}
+		case path == "time" && name == "Now":
+			return []violation{{call.Pos(), "time.Now() in a hot path reads the wall clock twice per sample; use the monotonic-base time.Since pattern (see monoNow)"}}
+		}
+	}
+	// Argument boxing against the callee's parameter types.
+	if tv, ok := info.Types[call.Fun]; ok && !tv.IsType() {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			params := sig.Params()
+			for i, arg := range call.Args {
+				var pt types.Type
+				switch {
+				case sig.Variadic() && i >= params.Len()-1:
+					if call.Ellipsis == token.NoPos {
+						pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+					}
+				case i < params.Len():
+					pt = params.At(i).Type()
+				}
+				if pt != nil {
+					out = append(out, c.checkBoxed(info, arg, pt)...)
+				}
+			}
+		}
+	} else if ok && tv.IsType() {
+		// Explicit conversion T(x) with T an interface.
+		for _, arg := range call.Args {
+			out = append(out, c.checkBoxed(info, arg, tv.Type)...)
+		}
+	}
+	// Follow static module-internal callees.
+	if src := c.pass.Prog.FuncSourceOf(fn); src != nil {
+		for _, v := range c.follow(src, fn, depth) {
+			pos := c.pass.Fset.Position(v.pos)
+			out = append(out, violation{call.Pos(), fmt.Sprintf(
+				"call to %s reaches a hot-path hazard at %s:%d: %s",
+				fn.FullName(), filepath.Base(pos.Filename), pos.Line, v.desc)})
+		}
+	}
+	return out
+}
+
+// follow returns fn's transitive violations, memoized.
+func (c *checker) follow(src *analysis.FuncSource, fn *types.Func, depth int) []violation {
+	key := fn.Origin()
+	if vs, ok := c.memo[key]; ok {
+		return vs
+	}
+	if c.walking[key] {
+		return nil
+	}
+	c.walking[key] = true
+	vs := c.checkBody(src.Pkg, src.Decl, depth+1)
+	delete(c.walking, key)
+	c.memo[key] = vs
+	return vs
+}
+
+// checkBoxed reports an implicit conversion of a concrete value to an
+// interface type — the boxing allocation the 3-allocs/op budget cannot
+// absorb.
+func (c *checker) checkBoxed(info *types.Info, expr ast.Expr, target types.Type) []violation {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return nil
+	}
+	if _, ok := types.Unalias(target).(*types.TypeParam); ok {
+		return nil // generic target: instantiation-dependent
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return nil
+	}
+	if types.IsInterface(t.Underlying()) {
+		return nil // interface-to-interface: no box
+	}
+	if _, ok := types.Unalias(t).(*types.TypeParam); ok {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return nil // pointer-shaped: fits the interface data word, no allocation
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return nil
+		}
+	}
+	return []violation{{expr.Pos(), fmt.Sprintf(
+		"implicit conversion of %s to interface %s boxes (allocates) in a hot path", t, target)}}
+}
+
+var fmtFormatting = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}

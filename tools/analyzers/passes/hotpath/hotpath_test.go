@@ -1,0 +1,28 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/passes/hotpath"
+)
+
+// TestHotpathFlags exercises every hazard class, same-package and
+// cross-package callee following, and justified suppression. hotdep is
+// listed first so hot can import it.
+func TestHotpathFlags(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/hotdep", Dir: analysistest.Dir(t, "hotdep")},
+		analysis.DirPackage{Path: "example.com/fix/hot", Dir: analysistest.Dir(t, "hot")},
+	)
+}
+
+// TestHotpathClean pins the non-hazards: appends, struct literals, make,
+// time.Since, pointer-shaped interface conversions, and hazards in
+// unmarked functions.
+func TestHotpathClean(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "example.com/fix",
+		analysis.DirPackage{Path: "example.com/fix/hotclean", Dir: analysistest.Dir(t, "hotclean")},
+	)
+}

@@ -1,0 +1,56 @@
+// Package hot exercises every hotpath hazard class plus callee following.
+package hot
+
+import (
+	"fmt"
+	"time"
+
+	"example.com/fix/hotdep"
+)
+
+type sinkT struct{ f any }
+
+func sink(any)       {}
+func helper() string { return fmt.Sprintf("deep") }
+func mid() string    { return helper() }
+
+var base = time.Now()
+
+//webreason:hotpath
+func direct(files []string) {
+	_ = fmt.Sprintf("x%d", 1) // want "fmt.Sprintf in a hot path"
+	_ = time.Now()            // want "time.Now"
+	for _, f := range files {
+		g, _ := open(f)
+		defer g.close() // want "defer inside a loop in a hot path"
+	}
+	_ = map[string]int{} // want "map composite literal allocates in a hot path"
+	_ = []int{1, 2}      // want "slice composite literal allocates in a hot path"
+}
+
+//webreason:hotpath
+func boxing(n int, s sinkT) {
+	sink(n) // want "implicit conversion of int to interface"
+	s.f = n // want "implicit conversion of int to interface"
+	_ = s
+}
+
+//webreason:hotpath
+func callees(n int) {
+	_ = helper()           // want "call to example.com/fix/hot.helper reaches a hot-path hazard at hot.go:\\d+: fmt.Sprintf"
+	_ = mid()              // want "call to example.com/fix/hot.mid reaches a hot-path hazard at hot.go:\\d+: call to example.com/fix/hot.helper"
+	_ = hotdep.Describe(n) // want "call to example.com/fix/hotdep.Describe reaches a hot-path hazard at hotdep.go:\\d+: fmt.Sprintf"
+	_ = hotdep.Pure(n)
+}
+
+//webreason:hotpath
+func suppressed() {
+	//lint:ignore hotpath cold branch exercised once per process in this fixture
+	_ = fmt.Sprintf("cold")
+	_ = fmt.Sprint("oops") // want "fmt.Sprint in a hot path"
+}
+
+type file struct{}
+
+func open(string) (*file, error) { return &file{}, nil }
+func (*file) close()             {}

@@ -1,0 +1,44 @@
+// Package hotclean holds only constructs a hot path is allowed to use:
+// nothing here may be flagged.
+package hotclean
+
+import (
+	"fmt"
+	"time"
+)
+
+var base = time.Now()
+
+type entry struct{ k, v int }
+
+type iface interface{ m() }
+
+type impl struct{}
+
+func (*impl) m() {}
+
+//webreason:hotpath
+func clean(buf []byte, n int) []byte {
+	// Monotonic offsets from a fixed base, not time.Now.
+	d := time.Since(base)
+	_ = d
+	// Appends and make grow scratch space without literal allocations.
+	buf = append(buf, byte(n))
+	scratch := make([]int, 0, n)
+	_ = scratch
+	// Struct and array literals are not map/slice literals.
+	e := entry{k: 1, v: 2}
+	_ = [2]int{1, 2}
+	_ = e
+	// Pointer-shaped values fit an interface word without allocating.
+	var x iface = &impl{}
+	_ = x
+	return buf
+}
+
+// unmarked may do anything; only //webreason:hotpath functions (and their
+// callees, reached from one) are checked.
+func unmarked() string {
+	time.Sleep(0)
+	return fmt.Sprintf("at %v", time.Now())
+}

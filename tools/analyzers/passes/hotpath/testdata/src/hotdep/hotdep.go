@@ -1,0 +1,13 @@
+// Package hotdep is an imported dependency of the hot fixture: its
+// exported helper hides a hazard that only callee-following can see.
+package hotdep
+
+import "fmt"
+
+// Describe formats; reaching it from a hot path is a cross-package hazard.
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Pure is hazard-free and safe to reach from a hot path.
+func Pure(n int) int { return n * 2 }
